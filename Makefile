@@ -1,0 +1,39 @@
+# sconrep build/test/bench targets.
+
+GO ?= go
+
+.PHONY: all build test race vet bench sweep examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+# Smoke-sized benchmarks: one per paper table/figure, plus module
+# micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full evaluation sweep (regenerates every figure; ~15 minutes).
+sweep:
+	$(GO) run ./cmd/sconrep-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/agents -mode SC -rounds 100
+	$(GO) run ./examples/agents -mode FSC -rounds 100
+	$(GO) run ./examples/bookstore -seconds 2
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

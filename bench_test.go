@@ -1,0 +1,229 @@
+package sconrep
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation (§V). Each runs the corresponding experiment at the Quick
+// profile — a smoke-sized sweep whose relative numbers already show
+// the paper's shapes — and reports throughput / latency via
+// b.ReportMetric. The full sweeps live in cmd/sconrep-bench.
+//
+// Metric names:
+//
+//	tps          committed transactions per second
+//	resp_ms      mean response time, rescaled to paper milliseconds
+//	sync_ms      mean synchronization delay (start delay for the lazy
+//	             modes, global commit delay for eager)
+//
+// Shapes to look for (EXPERIMENTS.md records full-run numbers):
+//
+//	Fig3: ESC tps well below CSC/FSC/SC once updates dominate.
+//	Fig4: ESC's global stage dwarfs the lazy modes' version stage.
+//	Fig5: lazy modes scale with replicas; ESC flattens on ordering.
+//	Fig6: ESC sync delay grows with replicas; CSC/FSC stay small.
+//	Fig7: lazy response time falls with replicas; ESC's rises.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"sconrep/internal/bench"
+	"sconrep/internal/core"
+	"sconrep/internal/metrics"
+)
+
+// benchThink compresses the emulated-browser think time so the short
+// smoke intervals still gather enough samples.
+const benchThink = 40 * time.Millisecond
+
+// benchProfile is sized so each point costs well under two seconds.
+func benchProfile() bench.Profile {
+	return bench.Profile{
+		Scale:   1.0, // sub-ms compression is below this host's timer floor
+		Warmup:  300 * time.Millisecond,
+		Measure: 900 * time.Millisecond,
+	}
+}
+
+// reportPoint publishes one experiment point's metrics under a label.
+func reportPoint(b *testing.B, label string, r bench.Result, prof bench.Profile) {
+	b.ReportMetric(r.Snapshot.TPS, label+"_tps")
+	b.ReportMetric(float64(r.Snapshot.MeanResponse)/float64(time.Millisecond)/prof.Scale, label+"_resp_ms")
+}
+
+// BenchmarkTableI regenerates Table I (deterministic, no measurement).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.TableI(io.Discard)
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3's curve shape: micro-benchmark
+// throughput at a read-heavy and an update-only mix for all modes.
+func BenchmarkFig3(b *testing.B) {
+	prof := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, ratio := range []int{25, 100} {
+			for _, mode := range bench.Modes {
+				res, err := bench.Run(bench.Point{
+					Workload: "micro", Mode: mode,
+					Replicas: bench.MicroReplicas, Clients: bench.MicroClients,
+					UpdatePercent: ratio,
+				}, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					reportPoint(b, fmt.Sprintf("u%d_%s", ratio, mode), res, prof)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4's breakdown: the version stage of
+// the lazy modes against the global stage of eager at 100% updates.
+func BenchmarkFig4(b *testing.B) {
+	prof := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []core.Mode{core.Eager, core.Coarse, core.Fine} {
+			res, err := bench.Run(bench.Point{
+				Workload: "micro", Mode: mode,
+				Replicas: bench.MicroReplicas, Clients: bench.MicroClients,
+				UpdatePercent: 100,
+			}, prof)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				ver := float64(res.Snapshot.StageMeans[metrics.StageVersion]) / float64(time.Millisecond) / prof.Scale
+				glob := float64(res.Snapshot.StageMeans[metrics.StageGlobal]) / float64(time.Millisecond) / prof.Scale
+				b.ReportMetric(ver, mode.String()+"_version_ms")
+				b.ReportMetric(glob, mode.String()+"_global_ms")
+			}
+		}
+	}
+}
+
+// tpcwScaledBench runs a two-replica-count slice of Figure 5 for one
+// mix and reports tps/resp per mode and replica count.
+func tpcwScaledBench(b *testing.B, mix string, cpr int) {
+	prof := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, reps := range []int{2, 6} {
+			for _, mode := range bench.Modes {
+				res, err := bench.Run(bench.Point{
+					Workload: "tpcw", Mode: mode,
+					Replicas: reps, Clients: reps * cpr,
+					Mix: mix, ThinkTime: benchThink,
+				}, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					reportPoint(b, fmt.Sprintf("r%d_%s", reps, mode), res, prof)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Browsing / Shopping / Ordering regenerate Figure 5's
+// throughput and response-time series per mix (scaled load).
+func BenchmarkFig5Browsing(b *testing.B) { tpcwScaledBench(b, "browsing", 10) }
+
+func BenchmarkFig5Shopping(b *testing.B) { tpcwScaledBench(b, "shopping", 8) }
+
+func BenchmarkFig5Ordering(b *testing.B) { tpcwScaledBench(b, "ordering", 5) }
+
+// BenchmarkFig6 regenerates Figure 6: synchronization delay on the
+// ordering mix as replicas grow — the series where eager's global
+// commit delay diverges.
+func BenchmarkFig6(b *testing.B) {
+	prof := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, reps := range []int{2, 6} {
+			for _, mode := range bench.Modes {
+				res, err := bench.Run(bench.Point{
+					Workload: "tpcw", Mode: mode,
+					Replicas: reps, Clients: reps * 5,
+					Mix: "ordering", ThinkTime: benchThink,
+				}, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					sync := float64(res.Snapshot.MeanSync) / float64(time.Millisecond) / prof.Scale
+					b.ReportMetric(sync, fmt.Sprintf("r%d_%s_sync_ms", reps, mode))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: response time under fixed load
+// on the ordering mix — replicas should help the lazy modes and hurt
+// eager.
+func BenchmarkFig7(b *testing.B) {
+	prof := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, reps := range []int{1, 6} {
+			for _, mode := range bench.Modes {
+				res, err := bench.Run(bench.Point{
+					Workload: "tpcw", Mode: mode,
+					Replicas: reps, Clients: 10, // fixed
+					Mix: "ordering", ThinkTime: benchThink,
+				}, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					respMS := float64(res.Snapshot.MeanResponse) / float64(time.Millisecond) / prof.Scale
+					b.ReportMetric(respMS, fmt.Sprintf("r%d_%s_resp_ms", reps, mode))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationGranularity measures FSC's table-level
+// synchronization against CSC's database-level on a skewed workload —
+// the design choice Table I motivates.
+func BenchmarkAblationGranularity(b *testing.B) {
+	prof := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []core.Mode{core.Coarse, core.Fine} {
+			res, err := bench.RunSkewedMicro(mode, prof)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(res.Snapshot.TPS, mode.String()+"_tps")
+				startMS := float64(res.Snapshot.StageMeans[metrics.StageVersion]) / float64(time.Millisecond) / prof.Scale
+				b.ReportMetric(startMS, mode.String()+"_start_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEarlyCert measures early certification on a
+// high-conflict update workload.
+func BenchmarkAblationEarlyCert(b *testing.B) {
+	prof := benchProfile()
+	for i := 0; i < b.N; i++ {
+		for _, disable := range []bool{false, true} {
+			res, err := bench.RunEarlyCertPoint(disable, prof)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				label := "on"
+				if disable {
+					label = "off"
+				}
+				b.ReportMetric(res.Snapshot.TPS, label+"_tps")
+				b.ReportMetric(res.Snapshot.AbortRate(), label+"_abort_rate")
+			}
+		}
+	}
+}

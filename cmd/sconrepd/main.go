@@ -1,0 +1,264 @@
+// Command sconrepd runs one node of a distributed sconrep deployment —
+// the multi-process topology of the paper's Figure 2 over TCP.
+//
+// A three-replica cluster on one machine:
+//
+//	sconrepd -role certifier -listen :7100 &
+//	sconrepd -role replica -id 0 -listen :7110 -certifier :7100 -bootstrap schema.sql &
+//	sconrepd -role replica -id 1 -listen :7111 -certifier :7100 -bootstrap schema.sql &
+//	sconrepd -role replica -id 2 -listen :7112 -certifier :7100 -bootstrap schema.sql &
+//	sconrepd -role gateway -listen :7000 -mode FSC -replicas :7110,:7111,:7112 &
+//	sconrepd -role client -connect :7000        # interactive SQL
+//
+// The bootstrap file contains semicolon-terminated SQL statements and
+// MUST be identical for every replica (deterministic load); the
+// certifier adopts the replicas' bootstrapped version on first
+// contact.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/core"
+	"sconrep/internal/replica"
+	"sconrep/internal/sql"
+	"sconrep/internal/storage"
+	"sconrep/internal/wal"
+	"sconrep/internal/wire"
+)
+
+func main() {
+	role := flag.String("role", "", "certifier | replica | gateway | client")
+	listen := flag.String("listen", "", "listen address (certifier/replica/gateway)")
+	id := flag.Int("id", 0, "replica id")
+	certAddr := flag.String("certifier", "", "certifier address (replica role)")
+	replicasFlag := flag.String("replicas", "", "comma-separated replica addresses (gateway role)")
+	modeFlag := flag.String("mode", "CSC", "consistency mode (gateway role)")
+	bootstrap := flag.String("bootstrap", "", "SQL bootstrap file (replica role)")
+	walPath := flag.String("wal", "", "decision log path (certifier role)")
+	connect := flag.String("connect", "", "gateway address (client role)")
+	session := flag.String("session", "cli", "session id (client role)")
+	eager := flag.Bool("eager", false, "enable eager global-commit tracking (certifier role; required when the gateway runs -mode ESC)")
+	flag.Parse()
+
+	switch *role {
+	case "certifier":
+		runCertifier(*listen, *walPath, *eager)
+	case "replica":
+		runReplica(*listen, *id, *certAddr, *bootstrap)
+	case "gateway":
+		runGateway(*listen, *modeFlag, *replicasFlag)
+	case "client":
+		runClient(*connect, *session)
+	default:
+		log.Fatalf("unknown -role %q (want certifier, replica, gateway, or client)", *role)
+	}
+}
+
+func runCertifier(listen, walPath string, eager bool) {
+	var opts []certifier.Option
+	if walPath != "" {
+		// Recover prior decisions, then append to the same log.
+		fresh := certifier.New()
+		if err := fresh.RestoreFromWAL(func(fn func(*wal.Record) error) error {
+			return wal.ReplayFile(walPath, fn)
+		}); err != nil {
+			log.Fatalf("wal replay: %v", err)
+		}
+		l, err := wal.Open(walPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, certifier.WithWAL(l))
+		if eager {
+			opts = append(opts, certifier.WithEager())
+		}
+		// Rebuild with the log attached; state replays again into the
+		// final instance to keep construction simple.
+		cert := certifier.New(opts...)
+		if err := cert.RestoreFromWAL(func(fn func(*wal.Record) error) error {
+			return wal.ReplayFile(walPath, fn)
+		}); err != nil {
+			log.Fatalf("wal replay: %v", err)
+		}
+		serveCertifier(cert, listen)
+		return
+	}
+	if eager {
+		opts = append(opts, certifier.WithEager())
+	}
+	serveCertifier(certifier.New(opts...), listen)
+}
+
+func serveCertifier(cert *certifier.Certifier, listen string) {
+	srv, err := wire.ServeCertifier(cert, listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("certifier serving on %s (version %d)", srv.Addr(), cert.Version())
+	select {}
+}
+
+func runReplica(listen string, id int, certAddr, bootstrap string) {
+	if certAddr == "" {
+		log.Fatal("replica role requires -certifier")
+	}
+	eng := storage.NewEngine()
+	if bootstrap != "" {
+		if err := loadBootstrap(eng, bootstrap); err != nil {
+			log.Fatalf("bootstrap: %v", err)
+		}
+	}
+	cc := wire.DialCertifier(certAddr, id, eng.Version())
+	rep := replica.New(replica.Config{ID: id, EarlyCert: true}, eng, cc)
+	srv, err := wire.ServeReplica(rep, listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replica %d serving on %s (bootstrapped at version %d)", id, srv.Addr(), eng.Version())
+	select {}
+}
+
+// loadBootstrap executes semicolon-terminated statements from a file.
+func loadBootstrap(eng *storage.Engine, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, stmtText := range strings.Split(string(data), ";") {
+		stmtText = strings.TrimSpace(stmtText)
+		if stmtText == "" || strings.HasPrefix(stmtText, "--") {
+			continue
+		}
+		tx := eng.Begin()
+		if _, err := sql.Exec(tx, eng, stmtText); err != nil {
+			tx.Abort()
+			return fmt.Errorf("%q: %w", stmtText, err)
+		}
+		if _, err := tx.CommitLocal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runGateway(listen, modeFlag, replicasFlag string) {
+	mode, err := core.ParseMode(modeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if replicasFlag == "" {
+		log.Fatal("gateway role requires -replicas")
+	}
+	addrs := strings.Split(replicasFlag, ",")
+	gw, err := wire.ServeGateway(listen, mode, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("gateway serving on %s, mode %s, %d replicas", gw.Addr(), mode, len(addrs))
+	select {}
+}
+
+func runClient(connect, session string) {
+	if connect == "" {
+		log.Fatal("client role requires -connect")
+	}
+	c, err := wire.Dial(connect, session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Println("connected; statements run in autocommit, or \\begin ... \\commit. \\quit exits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inTxn := false
+	for {
+		if inTxn {
+			fmt.Print("txn> ")
+		} else {
+			fmt.Print("> ")
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "\\quit" || line == "\\q":
+			return
+		case line == "\\begin":
+			if err := c.Begin(""); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				inTxn = true
+			}
+		case line == "\\commit":
+			v, ro, err := c.Commit()
+			inTxn = false
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("committed at version %d (read-only=%v)\n", v, ro)
+			}
+		case line == "\\abort":
+			_ = c.Abort()
+			inTxn = false
+		case strings.HasPrefix(line, "\\"):
+			fmt.Println("commands: \\begin \\commit \\abort \\quit")
+		default:
+			if inTxn {
+				printRes(c.Exec(line))
+				continue
+			}
+			if err := c.Begin(""); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			res, err := c.Exec(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				_ = c.Abort()
+				continue
+			}
+			if _, _, err := c.Commit(); err != nil {
+				fmt.Println("commit error:", err)
+				continue
+			}
+			printResOK(res)
+		}
+	}
+}
+
+func printRes(res *sql.Result, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResOK(res)
+}
+
+func printResOK(res *sql.Result) {
+	if res == nil {
+		fmt.Println("ok")
+		return
+	}
+	if len(res.Columns) == 0 {
+		fmt.Printf("ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = storage.FormatValue(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

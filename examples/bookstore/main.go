@@ -1,0 +1,201 @@
+// Command bookstore is a small e-commerce workload on the public API —
+// the application class the paper's evaluation targets. It compares
+// two consistency configurations side by side on the same workload:
+// checkout transactions race against best-seller dashboards, and the
+// program reports throughput, latency, and checker results for each.
+//
+//	go run ./examples/bookstore            # FSC (default)
+//	go run ./examples/bookstore -mode ESC  # the eager baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sconrep"
+)
+
+var (
+	stBrowse = sconrep.MustPrepare(`SELECT b.id, b.title, b.price, a.name
+		FROM books b JOIN authors a ON b.author_id = a.id
+		WHERE b.genre = ? ORDER BY b.title LIMIT 10`)
+	stBestSellers = sconrep.MustPrepare(`SELECT b.title, SUM(s.qty) AS sold
+		FROM sales s JOIN books b ON s.book_id = b.id
+		GROUP BY b.title ORDER BY sold DESC LIMIT 5`)
+	stStock   = sconrep.MustPrepare(`SELECT stock FROM books WHERE id = ?`)
+	stSell    = sconrep.MustPrepare(`UPDATE books SET stock = stock - ? WHERE id = ?`)
+	stRecord  = sconrep.MustPrepare(`INSERT INTO sales (id, book_id, qty, day) VALUES (?, ?, ?, ?)`)
+	stRestock = sconrep.MustPrepare(`UPDATE books SET stock = stock + 50 WHERE id = ?`)
+)
+
+func main() {
+	modeFlag := flag.String("mode", "FSC", "consistency mode: ESC, CSC, FSC, or SC")
+	seconds := flag.Int("seconds", 3, "workload duration")
+	flag.Parse()
+	mode, err := sconrep.ParseMode(*modeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := sconrep.Open(sconrep.Config{
+		Replicas:      4,
+		Mode:          mode,
+		SimulateLAN:   true,
+		TimeScale:     1.0,
+		RecordHistory: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	genres := []string{"scifi", "mystery", "history", "poetry"}
+	err = db.Bootstrap(func(b *sconrep.Boot) error {
+		b.Exec(`CREATE TABLE authors (id INT PRIMARY KEY, name TEXT)`)
+		b.Exec(`CREATE TABLE books (
+			id INT PRIMARY KEY, title TEXT, author_id INT,
+			genre TEXT, price FLOAT, stock INT)`)
+		b.Exec(`CREATE INDEX books_genre ON books (genre)`)
+		b.Exec(`CREATE TABLE sales (id INT PRIMARY KEY, book_id INT, qty INT, day INT)`)
+		for a := 1; a <= 20; a++ {
+			b.Exec(`INSERT INTO authors VALUES (?, ?)`, a, fmt.Sprintf("author-%02d", a))
+		}
+		for i := 1; i <= 200; i++ {
+			b.Exec(`INSERT INTO books VALUES (?, ?, ?, ?, ?, ?)`,
+				i, fmt.Sprintf("book %03d", i), 1+i%20, genres[i%len(genres)], 5.0+float64(i%40), 100)
+		}
+		return b.Err()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db.RegisterTxn("browse", stBrowse)
+	db.RegisterTxn("dashboard", stBestSellers)
+	db.RegisterTxn("checkout", stStock, stSell, stRecord)
+	db.RegisterTxn("restock", stRestock)
+
+	fmt.Printf("bookstore under %s with 4 replicas — running %ds of mixed load...\n", mode, *seconds)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var saleID int64 = 1 << 32
+
+	worker := func(id int, checkoutPct int) {
+		defer wg.Done()
+		s := db.SessionWithID(fmt.Sprintf("shopper-%d", id))
+		defer s.Close()
+		rng := rand.New(rand.NewSource(int64(id)))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if rng.Intn(100) < checkoutPct {
+				// Checkout: read stock, decrement, record the sale.
+				book := 1 + rng.Intn(200)
+				tx, err := s.Begin("checkout")
+				if err != nil {
+					continue
+				}
+				res, err := tx.Stmt(stStock, book)
+				if err != nil || len(res.Rows) == 0 {
+					tx.Abort()
+					continue
+				}
+				qty := 1 + rng.Intn(3)
+				if int(res.Rows[0][0].(int64)) < qty {
+					tx.Abort()
+					// Separate restock transaction.
+					rtx, err := s.Begin("restock")
+					if err == nil {
+						if _, err := rtx.Stmt(stRestock, book); err == nil {
+							_ = rtx.Commit()
+						} else {
+							rtx.Abort()
+						}
+					}
+					continue
+				}
+				if _, err := tx.Stmt(stSell, qty, book); err != nil {
+					tx.Abort()
+					continue
+				}
+				id := saleID + rng.Int63n(1<<30) // collision-unlikely demo IDs
+				if _, err := tx.Stmt(stRecord, id, book, qty, 1); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit() // conflicts just retry next loop
+			} else if rng.Intn(2) == 0 {
+				// Browse a genre.
+				tx, err := s.Begin("browse")
+				if err != nil {
+					continue
+				}
+				if _, err := tx.Stmt(stBrowse, genres[rng.Intn(len(genres))]); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			} else {
+				// The manager dashboard: best sellers so far.
+				tx, err := s.Begin("dashboard")
+				if err != nil {
+					continue
+				}
+				if _, err := tx.Stmt(stBestSellers); err != nil {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit()
+			}
+		}
+	}
+
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go worker(i, 30)
+	}
+	time.Sleep(time.Duration(*seconds) * time.Second)
+	close(stop)
+	wg.Wait()
+
+	st := db.Stats()
+	fmt.Printf("\n%-22s %v\n", "mode:", mode)
+	fmt.Printf("%-22s %d (%d updates, %d reads)\n", "committed:", st.Committed, st.Updates, st.ReadOnly)
+	fmt.Printf("%-22s %d\n", "aborted (conflicts):", st.Aborted)
+	fmt.Printf("%-22s %.1f\n", "throughput (TPS):", st.TPS)
+	fmt.Printf("%-22s %.2f ms\n", "mean response:", st.MeanResponseSeconds*1000)
+
+	violations, err := db.CheckConsistency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if mode.Strong() {
+		fmt.Printf("%-22s %d (must be 0 under %s)\n", "stale reads:", len(violations), mode)
+	} else {
+		fmt.Printf("%-22s %d (allowed under SC)\n", "stale reads:", len(violations))
+	}
+
+	// Final dashboard through a fresh session.
+	s := db.Session()
+	defer s.Close()
+	tx, err := s.Begin("dashboard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tx.Stmt(stBestSellers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = tx.Commit()
+	fmt.Println("\nbest sellers:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-12s %4d sold\n", r[0], r[1])
+	}
+}

@@ -1,0 +1,3 @@
+module sconrep
+
+go 1.22

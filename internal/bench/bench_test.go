@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sconrep/internal/core"
+)
+
+// testProfile is small enough for CI but long enough for stable means.
+func testProfile() Profile {
+	return Profile{Scale: 1.0, Warmup: 250 * time.Millisecond, Measure: 700 * time.Millisecond, CheckHistory: true}
+}
+
+func runPoint(t *testing.T, p Point) Result {
+	t.Helper()
+	res, err := Run(p, testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.Committed == 0 {
+		t.Fatalf("point %+v committed nothing", p)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("point %+v: %d consistency violations", p, res.Violations)
+	}
+	return res
+}
+
+func TestRunMicroPoint(t *testing.T) {
+	res := runPoint(t, Point{
+		Workload: "micro", Mode: core.Coarse,
+		Replicas: 2, Clients: 4, UpdatePercent: 25,
+	})
+	if res.Snapshot.TPS <= 0 {
+		t.Fatalf("TPS = %v", res.Snapshot.TPS)
+	}
+}
+
+func TestRunTPCWPoint(t *testing.T) {
+	res := runPoint(t, Point{
+		Workload: "tpcw", Mode: core.Fine,
+		Replicas: 2, Clients: 8, Mix: "shopping", ThinkTime: 20 * time.Millisecond,
+	})
+	if res.Snapshot.TPS <= 0 {
+		t.Fatalf("TPS = %v", res.Snapshot.TPS)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(Point{Workload: "nope", Replicas: 1, Clients: 1}, testProfile()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestShapeEagerLosesOnUpdates is the paper's headline claim at
+// miniature scale: with a substantial update fraction, ESC throughput
+// falls well below CSC/FSC, which stay near SC.
+func TestShapeEagerLosesOnUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test needs wall-clock time")
+	}
+	prof := testProfile()
+	prof.Measure = 900 * time.Millisecond
+	get := func(mode core.Mode) float64 {
+		res, err := Run(Point{
+			Workload: "micro", Mode: mode,
+			Replicas: 4, Clients: 4, UpdatePercent: 50,
+		}, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Snapshot.TPS
+	}
+	esc := get(core.Eager)
+	csc := get(core.Coarse)
+	fsc := get(core.Fine)
+	sc := get(core.Session)
+	t.Logf("TPS — ESC %.0f, CSC %.0f, FSC %.0f, SC %.0f", esc, csc, fsc, sc)
+	if esc >= csc {
+		t.Errorf("eager (%.0f) should trail coarse (%.0f) at 50%% updates", esc, csc)
+	}
+	if esc >= fsc {
+		t.Errorf("eager (%.0f) should trail fine (%.0f)", esc, fsc)
+	}
+	// Lazy strong consistency within 25% of session consistency.
+	if csc < sc*0.75 {
+		t.Errorf("coarse (%.0f) too far below session (%.0f)", csc, sc)
+	}
+}
+
+func TestTableIOutput(t *testing.T) {
+	var buf bytes.Buffer
+	TableI(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Table I",
+		"CSC start version = 5",
+		"FSC start version = 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableI output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	prof := testProfile()
+	prof.Warmup, prof.Measure = 100*time.Millisecond, 250*time.Millisecond
+	var buf bytes.Buffer
+	grid, err := Fig3(&buf, prof, []int{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 2 || len(grid[0]) != 4 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Fatal("missing header")
+	}
+	// At 0% updates all modes are within noise of each other.
+	base := grid[0][0].Snapshot.TPS
+	for _, r := range grid[0] {
+		ratio := r.Snapshot.TPS / base
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("read-only TPS spread too wide: %v vs %v", r.Snapshot.TPS, base)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"sconrep/internal/core"
+	"sconrep/internal/metrics"
+)
+
+// TestShapeFig6SyncDelay asserts Figure 6's shape on a reduced grid:
+// the eager global commit delay grows with the replica count and
+// exceeds the lazy modes' synchronization start delay, which stays
+// small.
+func TestShapeFig6SyncDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	prof := Profile{Scale: 1.0, Warmup: 400 * time.Millisecond, Measure: 1500 * time.Millisecond}
+	syncOf := func(mode core.Mode, reps int) time.Duration {
+		res, err := Run(Point{
+			Workload: "tpcw", Mode: mode,
+			Replicas: reps, Clients: reps * 5,
+			Mix: "ordering", ThinkTime: TPCWThink,
+		}, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Snapshot.MeanSync
+	}
+
+	esc2 := syncOf(core.Eager, 2)
+	esc6 := syncOf(core.Eager, 6)
+	csc6 := syncOf(core.Coarse, 6)
+	fsc6 := syncOf(core.Fine, 6)
+	t.Logf("sync delay — ESC@2=%v ESC@6=%v CSC@6=%v FSC@6=%v", esc2, esc6, csc6, fsc6)
+
+	if esc6 <= esc2 {
+		t.Errorf("eager sync delay should grow with replicas: %v at 2, %v at 6", esc2, esc6)
+	}
+	if esc6 <= csc6 {
+		t.Errorf("eager sync delay (%v) should exceed coarse start delay (%v) at 6 replicas", esc6, csc6)
+	}
+	if esc6 <= fsc6 {
+		t.Errorf("eager sync delay (%v) should exceed fine start delay (%v) at 6 replicas", esc6, fsc6)
+	}
+}
+
+// TestShapeGranularityAblation asserts the §III-C benefit directly:
+// on the skewed workload (updates on one table, reads on another), the
+// fine-grained mode's start delay is far below the coarse-grained
+// mode's.
+func TestShapeGranularityAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	prof := Profile{Scale: 1.0, Warmup: 400 * time.Millisecond, Measure: 1500 * time.Millisecond}
+	coarse, err := RunSkewedMicro(core.Coarse, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := RunSkewedMicro(core.Fine, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := coarse.Snapshot.StageMeans[metrics.StageVersion]
+	fs := fine.Snapshot.StageMeans[metrics.StageVersion]
+	t.Logf("skewed start delay — CSC=%v FSC=%v", cs, fs)
+	if fs >= cs {
+		t.Errorf("fine start delay (%v) should undercut coarse (%v) on the skewed workload", fs, cs)
+	}
+}

@@ -1,0 +1,340 @@
+// Package certifier implements the certification service of §IV: it
+// decides whether update transactions commit, assigns the global
+// commit order, makes decisions durable, and forwards refresh
+// writesets to the other replicas.
+//
+// The certifier is the only component that orders commits, which is
+// what lets replicas run with non-forced logs (Tashkent-style
+// durability) and lets the load balancer track versions without
+// coordination.
+package certifier
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sconrep/internal/latency"
+	"sconrep/internal/wal"
+	"sconrep/internal/writeset"
+)
+
+// Refresh is one committed update transaction shipped to a replica
+// that did not originate it.
+type Refresh struct {
+	TxnID   uint64
+	Version uint64
+	Origin  int // originating replica ID (-1 for recovery replays)
+	WS      *writeset.WriteSet
+}
+
+// Decision is the certifier's answer for one update transaction.
+type Decision struct {
+	Commit  bool
+	Version uint64 // assigned commit version when Commit
+}
+
+// ErrSnapshotTooOld is returned when a transaction's snapshot predates
+// the certifier's trimmed conflict window; the transaction must abort
+// conservatively.
+var ErrSnapshotTooOld = errors.New("certifier: snapshot below certification window")
+
+type historyEntry struct {
+	txnID   uint64
+	version uint64
+	origin  int
+	ws      *writeset.WriteSet
+}
+
+type eagerWait struct {
+	// waiting tracks the replica IDs that have not yet applied.
+	waiting map[int]bool
+	done    chan struct{}
+}
+
+// Certifier orders and certifies update transactions. All methods are
+// safe for concurrent use.
+type Certifier struct {
+	mu      sync.Mutex
+	version uint64
+	index   *writeset.Index
+	floor   uint64 // snapshots below floor cannot be certified
+	history []historyEntry
+	subs    map[int]*mailbox
+	log     *wal.Log
+	lat     *latency.Source
+	glog    *groupLog
+
+	// eager mode bookkeeping: per-version apply counters.
+	eager bool
+	waits map[uint64]*eagerWait
+}
+
+// Option configures a Certifier.
+type Option func(*Certifier)
+
+// WithWAL makes decisions durable in the given log.
+func WithWAL(l *wal.Log) Option { return func(c *Certifier) { c.log = l } }
+
+// WithLatency injects the simulated certification costs.
+func WithLatency(s *latency.Source) Option { return func(c *Certifier) { c.lat = s } }
+
+// WithEager enables global-commit tracking for eager strong
+// consistency.
+func WithEager() Option { return func(c *Certifier) { c.eager = true } }
+
+// New returns a certifier at version 0.
+func New(opts ...Option) *Certifier {
+	c := &Certifier{
+		index: writeset.NewIndex(),
+		subs:  make(map[int]*mailbox),
+		waits: make(map[uint64]*eagerWait),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.glog = newGroupLog(c.log, c.lat)
+	return c
+}
+
+// StartAt initializes the version counter of a fresh certifier to v —
+// used when replicas are bootstrapped with identical preloaded data at
+// version v outside the replication protocol.
+func (c *Certifier) StartAt(v uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != 0 || len(c.history) != 0 {
+		return errors.New("certifier: StartAt on non-empty certifier")
+	}
+	c.version = v
+	c.glog.startAt(v)
+	return nil
+}
+
+// Version returns the latest assigned commit version.
+func (c *Certifier) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Subscribe registers a replica to receive refresh writesets and
+// returns its mailbox handle. Re-subscribing (recovery) replaces the
+// previous mailbox.
+func (c *Certifier) Subscribe(replicaID int) *Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.subs[replicaID]; ok {
+		old.close()
+	}
+	mb := newMailbox()
+	c.subs[replicaID] = mb
+	return &Subscription{c: c, replicaID: replicaID, mb: mb}
+}
+
+// Unsubscribe detaches a replica (crash). Pending eager waits stop
+// counting it.
+func (c *Certifier) Unsubscribe(replicaID int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mb, ok := c.subs[replicaID]; ok {
+		mb.close()
+		delete(c.subs, replicaID)
+	}
+	// A crashed replica will never ack: stop waiting for it.
+	for v, w := range c.waits {
+		if w.waiting[replicaID] {
+			delete(w.waiting, replicaID)
+			if len(w.waiting) == 0 {
+				close(w.done)
+				delete(c.waits, v)
+			}
+		}
+	}
+}
+
+// Subscription is one replica's attachment to the certifier.
+type Subscription struct {
+	c         *Certifier
+	replicaID int
+	mb        *mailbox
+}
+
+// Take blocks for the next batch of refresh writesets; ok is false
+// after Unsubscribe/Close.
+func (s *Subscription) Take() ([]Refresh, bool) { return s.mb.take() }
+
+// Pending returns the refreshes queued but not yet taken — the
+// proxy's early certification scans these.
+func (s *Subscription) Pending() []Refresh { return s.mb.peekPending() }
+
+// QueueLen returns the number of queued refreshes.
+func (s *Subscription) QueueLen() int { return s.mb.len() }
+
+// Certify decides one update transaction: it commits iff its writeset
+// does not conflict with any writeset committed after the
+// transaction's snapshot (the GSI first-committer-wins test, §IV).
+// On commit the decision is logged, the conflict index updated, and
+// the refresh fanned out to every replica except the origin.
+func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (Decision, error) {
+	if ws.Empty() {
+		return Decision{}, fmt.Errorf("certifier: empty writeset for txn %d (read-only transactions commit locally)", txnID)
+	}
+	c.mu.Lock()
+	if snapshot < c.floor {
+		c.mu.Unlock()
+		return Decision{}, ErrSnapshotTooOld
+	}
+	if c.index.ConflictsAfter(ws, snapshot) {
+		c.mu.Unlock()
+		return Decision{Commit: false}, nil
+	}
+	c.version++
+	v := c.version
+	cp := ws.Clone()
+	c.index.Add(cp, v)
+	c.history = append(c.history, historyEntry{txnID: txnID, version: v, origin: origin, ws: cp})
+	if c.eager {
+		// Every subscribed replica other than the origin must apply
+		// before the global commit completes.
+		waiting := make(map[int]bool, len(c.subs))
+		for id := range c.subs {
+			if id != origin {
+				waiting[id] = true
+			}
+		}
+		if len(waiting) > 0 {
+			c.waits[v] = &eagerWait{waiting: waiting, done: make(chan struct{})}
+		}
+	}
+	c.mu.Unlock()
+
+	// Durability before propagation, via group commit: records reach
+	// the log in strict version order, with one forced write amortized
+	// over each contiguous batch of concurrent committers.
+	if err := c.glog.commit(v, &wal.Record{Version: v, TxnID: txnID, WriteSet: *cp}); err != nil {
+		return Decision{}, fmt.Errorf("certifier: durability: %w", err)
+	}
+
+	// Fan out the refresh writeset. Mailbox arrival order is not
+	// guaranteed to be version order across concurrent commits; the
+	// replica applier reorders by version.
+	c.mu.Lock()
+	for id, mb := range c.subs {
+		if id == origin {
+			continue
+		}
+		mb.put(Refresh{TxnID: txnID, Version: v, Origin: origin, WS: cp})
+	}
+	c.mu.Unlock()
+	return Decision{Commit: true, Version: v}, nil
+}
+
+// Applied records that a replica other than the origin has applied and
+// committed version v — the eager mode's global-commit accounting.
+func (c *Certifier) Applied(replicaID int, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.waits[v]
+	if !ok || !w.waiting[replicaID] {
+		return
+	}
+	delete(w.waiting, replicaID)
+	if len(w.waiting) == 0 {
+		close(w.done)
+		delete(c.waits, v)
+	}
+}
+
+// GlobalCommitted returns a channel closed once every replica has
+// applied version v. A nil channel (already satisfied) is returned
+// when no wait is registered.
+func (c *Certifier) GlobalCommitted(v uint64) <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.waits[v]; ok {
+		return w.done
+	}
+	closed := make(chan struct{})
+	close(closed)
+	return closed
+}
+
+// History returns the refresh stream with versions in (after, through],
+// for a recovering replica to catch up from its durable state.
+func (c *Certifier) History(after uint64) []Refresh {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Refresh
+	for i := range c.history {
+		h := &c.history[i]
+		if h.version > after {
+			out = append(out, Refresh{TxnID: h.txnID, Version: h.version, Origin: -1, WS: h.ws})
+		}
+	}
+	return out
+}
+
+// TrimBelow discards conflict-index entries and history at or below
+// watermark. Transactions with older snapshots are subsequently
+// rejected with ErrSnapshotTooOld, so the watermark must not exceed
+// the oldest version any replica could still begin a transaction at.
+func (c *Certifier) TrimBelow(watermark uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if watermark <= c.floor {
+		return
+	}
+	c.floor = watermark
+	c.index.Forget(watermark)
+	keep := c.history[:0]
+	for _, h := range c.history {
+		if h.version > watermark {
+			keep = append(keep, h)
+		}
+	}
+	c.history = keep
+}
+
+// Replicas returns the IDs of currently subscribed replicas.
+func (c *Certifier) Replicas() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.subs))
+	for id := range c.subs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// RestoreFromWAL rebuilds certifier state (version counter, conflict
+// index, history) by replaying a decision log — certifier crash
+// recovery.
+func (c *Certifier) RestoreFromWAL(records func(fn func(*wal.Record) error) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != 0 || len(c.history) != 0 {
+		return errors.New("certifier: RestoreFromWAL on non-empty certifier")
+	}
+	first := true
+	err := records(func(r *wal.Record) error {
+		if first {
+			// The first record sets the baseline: data bootstrapped at
+			// StartAt(v) makes the log begin at v+1.
+			first = false
+		} else if r.Version != c.version+1 {
+			return fmt.Errorf("certifier: wal gap: have %d, next record %d", c.version, r.Version)
+		}
+		c.version = r.Version
+		ws := r.WriteSet.Clone()
+		c.index.Add(ws, r.Version)
+		c.history = append(c.history, historyEntry{txnID: r.TxnID, version: r.Version, origin: -1, ws: ws})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Continue the durable log exactly where the replay ended.
+	c.glog.startAt(c.version)
+	return nil
+}

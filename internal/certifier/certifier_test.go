@@ -1,0 +1,330 @@
+package certifier
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sconrep/internal/wal"
+	"sconrep/internal/writeset"
+)
+
+func ws(keys ...string) *writeset.WriteSet {
+	w := &writeset.WriteSet{}
+	for _, k := range keys {
+		w.Items = append(w.Items, writeset.Item{
+			Table: "t", Key: k, Op: writeset.OpUpdate, Row: []any{k},
+		})
+	}
+	return w
+}
+
+func TestCertifyCommitAndConflict(t *testing.T) {
+	c := New()
+	d1, err := c.Certify(0, 1, 0, ws("a"))
+	if err != nil || !d1.Commit || d1.Version != 1 {
+		t.Fatalf("d1 = %+v, %v", d1, err)
+	}
+	// Same snapshot, conflicting key: abort.
+	d2, err := c.Certify(1, 2, 0, ws("a"))
+	if err != nil || d2.Commit {
+		t.Fatalf("d2 = %+v, %v; want abort", d2, err)
+	}
+	// Same snapshot, disjoint key: commit.
+	d3, err := c.Certify(1, 3, 0, ws("b"))
+	if err != nil || !d3.Commit || d3.Version != 2 {
+		t.Fatalf("d3 = %+v, %v", d3, err)
+	}
+	// Fresh snapshot over the conflicting key: commit.
+	d4, err := c.Certify(0, 4, 2, ws("a"))
+	if err != nil || !d4.Commit || d4.Version != 3 {
+		t.Fatalf("d4 = %+v, %v", d4, err)
+	}
+	if c.Version() != 3 {
+		t.Fatalf("Version = %d, want 3", c.Version())
+	}
+}
+
+func TestCertifyRejectsEmptyWriteset(t *testing.T) {
+	c := New()
+	if _, err := c.Certify(0, 1, 0, &writeset.WriteSet{}); err == nil {
+		t.Fatal("empty writeset accepted")
+	}
+}
+
+func TestRefreshFanOutSkipsOrigin(t *testing.T) {
+	c := New()
+	s0 := c.Subscribe(0)
+	s1 := c.Subscribe(1)
+	s2 := c.Subscribe(2)
+
+	if _, err := c.Certify(1, 10, 0, ws("x")); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []*Subscription{s0, s2} {
+		batch, ok := sub.Take()
+		if !ok || len(batch) != 1 || batch[0].Version != 1 || batch[0].TxnID != 10 {
+			t.Fatalf("replica %d batch = %v, %v", sub.replicaID, batch, ok)
+		}
+	}
+	if n := s1.QueueLen(); n != 0 {
+		t.Fatalf("origin received %d refreshes", n)
+	}
+}
+
+func TestPendingVisibleForEarlyCertification(t *testing.T) {
+	c := New()
+	s0 := c.Subscribe(0)
+	_, _ = c.Certify(1, 1, 0, ws("k1"))
+	_, _ = c.Certify(1, 2, 1, ws("k2"))
+	pending := s0.Pending()
+	if len(pending) != 2 {
+		t.Fatalf("pending = %d, want 2", len(pending))
+	}
+	if !pending[0].WS.ConflictsWith(ws("k1")) {
+		t.Fatal("pending writeset content lost")
+	}
+	// Pending peek must not consume.
+	batch, ok := s0.Take()
+	if !ok || len(batch) != 2 {
+		t.Fatalf("take after peek = %d, %v", len(batch), ok)
+	}
+}
+
+func TestUnsubscribeClosesMailbox(t *testing.T) {
+	c := New()
+	s := c.Subscribe(3)
+	done := make(chan bool)
+	go func() {
+		_, ok := s.Take()
+		done <- ok
+	}()
+	c.Unsubscribe(3)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Take returned ok after Unsubscribe")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Take did not unblock on Unsubscribe")
+	}
+	// Certifying after unsubscribe must not deliver to the dead mailbox.
+	if _, err := c.Certify(0, 9, 0, ws("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerGlobalCommit(t *testing.T) {
+	c := New(WithEager())
+	c.Subscribe(0)
+	c.Subscribe(1)
+	c.Subscribe(2)
+
+	d, err := c.Certify(0, 1, 0, ws("a"))
+	if err != nil || !d.Commit {
+		t.Fatal(err)
+	}
+	done := c.GlobalCommitted(d.Version)
+	select {
+	case <-done:
+		t.Fatal("global commit before any ack")
+	default:
+	}
+	c.Applied(1, d.Version)
+	select {
+	case <-done:
+		t.Fatal("global commit after one of two acks")
+	default:
+	}
+	c.Applied(2, d.Version)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("global commit never completed")
+	}
+	// A second wait on a completed version returns a closed channel.
+	select {
+	case <-c.GlobalCommitted(d.Version):
+	default:
+		t.Fatal("completed version not reported closed")
+	}
+}
+
+func TestEagerSingleReplicaNeedsNoWait(t *testing.T) {
+	c := New(WithEager())
+	c.Subscribe(0)
+	d, _ := c.Certify(0, 1, 0, ws("a"))
+	select {
+	case <-c.GlobalCommitted(d.Version):
+	default:
+		t.Fatal("single-replica eager commit should complete immediately")
+	}
+}
+
+func TestEagerReleasedOnReplicaCrash(t *testing.T) {
+	c := New(WithEager())
+	c.Subscribe(0)
+	c.Subscribe(1)
+	d, _ := c.Certify(0, 1, 0, ws("a"))
+	done := c.GlobalCommitted(d.Version)
+	c.Unsubscribe(1) // crash: the waiter must not block forever
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("eager wait not released by crash")
+	}
+}
+
+func TestHistoryCatchUp(t *testing.T) {
+	c := New()
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := c.Certify(0, i, i-1, ws(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := c.History(2)
+	if len(h) != 3 || h[0].Version != 3 || h[2].Version != 5 {
+		t.Fatalf("History(2) = %v", h)
+	}
+	if h := c.History(5); len(h) != 0 {
+		t.Fatalf("History(5) = %v", h)
+	}
+}
+
+func TestTrimBelow(t *testing.T) {
+	c := New()
+	for i := uint64(1); i <= 5; i++ {
+		_, _ = c.Certify(0, i, i-1, ws(fmt.Sprintf("k%d", i)))
+	}
+	c.TrimBelow(3)
+	if h := c.History(0); len(h) != 2 {
+		t.Fatalf("history after trim = %v", h)
+	}
+	// A snapshot below the floor must be rejected, not silently passed.
+	if _, err := c.Certify(0, 99, 2, ws("k9")); !errors.Is(err, ErrSnapshotTooOld) {
+		t.Fatalf("old snapshot err = %v", err)
+	}
+	// At or above the floor still works.
+	if d, err := c.Certify(0, 100, 3, ws("k9")); err != nil || !d.Commit {
+		t.Fatalf("at-floor certify = %+v, %v", d, err)
+	}
+}
+
+func TestDurabilityOrderAndRestore(t *testing.T) {
+	log := wal.NewMemory()
+	c := New(WithWAL(log))
+	// Concurrent certifications: the log must come out in version order.
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct keys so everything commits; snapshot 0 is fine
+			// because there are no conflicts.
+			if _, err := c.Certify(0, uint64(i), 0, ws(fmt.Sprintf("key-%d", i))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var versions []uint64
+	if err := wal.Replay(bytes.NewReader(log.MemoryBytes()), func(r *wal.Record) error {
+		versions = append(versions, r.Version)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 50 {
+		t.Fatalf("logged %d records, want 50", len(versions))
+	}
+	for i, v := range versions {
+		if v != uint64(i+1) {
+			t.Fatalf("log out of order at %d: %v", i, versions[:i+1])
+		}
+	}
+
+	// Restore a fresh certifier from the log.
+	c2 := New()
+	err := c2.RestoreFromWAL(func(fn func(*wal.Record) error) error {
+		return wal.Replay(bytes.NewReader(log.MemoryBytes()), fn)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Version() != 50 {
+		t.Fatalf("restored version = %d, want 50", c2.Version())
+	}
+	// The restored conflict index must still detect conflicts.
+	if d, err := c2.Certify(0, 999, 10, ws("key-20")); err != nil || d.Commit {
+		t.Fatalf("restored certifier allowed a conflicting commit: %+v, %v", d, err)
+	}
+	if h := c2.History(49); len(h) != 1 || h[0].Version != 50 {
+		t.Fatalf("restored history = %v", h)
+	}
+}
+
+func TestRestoreRejectsGaps(t *testing.T) {
+	c := New()
+	recs := []*wal.Record{
+		{Version: 1, TxnID: 1, WriteSet: *ws("a")},
+		{Version: 3, TxnID: 3, WriteSet: *ws("b")}, // gap
+	}
+	err := c.RestoreFromWAL(func(fn func(*wal.Record) error) error {
+		for _, r := range recs {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("gap in WAL accepted")
+	}
+}
+
+func TestConcurrentCertifyAssignsDistinctVersions(t *testing.T) {
+	c := New()
+	const n = 200
+	versions := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := c.Certify(i%4, uint64(i), 0, ws(fmt.Sprintf("k%d", i)))
+			if err != nil || !d.Commit {
+				t.Errorf("certify %d: %+v, %v", i, d, err)
+				return
+			}
+			versions[i] = d.Version
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, v := range versions {
+		if v == 0 || v > n || seen[v] {
+			t.Fatalf("bad version assignment: %v", versions)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMailboxOrderIndependence(t *testing.T) {
+	// The contract is that subscribers may receive refreshes out of
+	// version order; verify Take returns everything that was put.
+	mb := newMailbox()
+	for i := 0; i < 10; i++ {
+		mb.put(Refresh{Version: uint64(10 - i)})
+	}
+	batch, ok := mb.take()
+	if !ok || len(batch) != 10 {
+		t.Fatalf("take = %d, %v", len(batch), ok)
+	}
+	if got := mb.tryTake(); len(got) != 0 {
+		t.Fatalf("tryTake after drain = %v", got)
+	}
+}

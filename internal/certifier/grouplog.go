@@ -1,0 +1,106 @@
+package certifier
+
+import (
+	"sync"
+
+	"sconrep/internal/latency"
+	"sconrep/internal/wal"
+)
+
+// groupLog forces certification decisions to the log in commit-version
+// order with group commit: concurrent committers enqueue their records,
+// one of them becomes the flush leader, pays a single forced-I/O cost
+// for the whole contiguous batch, and wakes the rest.
+//
+// This reproduces the real certifier's behaviour: decision durability
+// is strictly ordered (no version is acknowledged before its
+// predecessors are durable) without limiting throughput to one forced
+// write per transaction.
+type groupLog struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[uint64]*wal.Record
+	logged   uint64 // all versions <= logged are durable
+	next     uint64 // next version to write (logged+1)
+	flushing bool
+	log      *wal.Log
+	lat      *latency.Source
+	err      error // first durable-write failure; fatal for the log
+}
+
+// startAt moves the log cursor for a certifier bootstrapped at v.
+func (g *groupLog) startAt(v uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.logged = v
+	g.next = v + 1
+}
+
+func newGroupLog(l *wal.Log, lat *latency.Source) *groupLog {
+	g := &groupLog{
+		pending: make(map[uint64]*wal.Record),
+		next:    1,
+		log:     l,
+		lat:     lat,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// commit makes the record for version v durable and returns once every
+// version up to and including v is durable.
+func (g *groupLog) commit(v uint64, rec *wal.Record) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pending[v] = rec
+
+	for g.logged < v && g.err == nil {
+		if g.flushing {
+			g.cond.Wait()
+			continue
+		}
+		if _, ready := g.pending[g.next]; !ready {
+			// A predecessor has not arrived yet; its committer will
+			// lead the flush.
+			g.cond.Wait()
+			continue
+		}
+		// Become the flush leader: take the longest contiguous prefix.
+		var batch []*wal.Record
+		first := g.next
+		for {
+			rec, ok := g.pending[g.next]
+			if !ok {
+				break
+			}
+			batch = append(batch, rec)
+			delete(g.pending, g.next)
+			g.next++
+		}
+		g.flushing = true
+		g.mu.Unlock()
+
+		// One forced write for the whole batch.
+		if g.lat != nil {
+			g.lat.CommitIO()
+		}
+		var err error
+		if g.log != nil {
+			for _, r := range batch {
+				if err = g.log.Append(r); err != nil {
+					break
+				}
+			}
+		}
+
+		g.mu.Lock()
+		g.flushing = false
+		if err != nil {
+			g.err = err
+		} else {
+			g.logged = first + uint64(len(batch)) - 1
+		}
+		g.cond.Broadcast()
+	}
+	return g.err
+}

@@ -1,0 +1,89 @@
+package certifier
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue connecting the certifier to one
+// replica's refresh applier. The certifier must never block on a slow
+// replica (that is exactly the coupling the lazy design removes), so
+// sends always succeed; the applier drains at its own pace.
+type mailbox struct {
+	mu     sync.Mutex
+	items  []Refresh
+	notify chan struct{} // 1-buffered wakeup
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+// put enqueues one refresh. It is a no-op after close.
+func (m *mailbox) put(r Refresh) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.items = append(m.items, r)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take removes and returns all queued refreshes, blocking until at
+// least one is available or the mailbox is closed. ok is false once
+// the mailbox is closed and drained.
+func (m *mailbox) take() (batch []Refresh, ok bool) {
+	for {
+		m.mu.Lock()
+		if len(m.items) > 0 {
+			batch = m.items
+			m.items = nil
+			m.mu.Unlock()
+			return batch, true
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return nil, false
+		}
+		m.mu.Unlock()
+		<-m.notify
+	}
+}
+
+// tryTake is take without blocking.
+func (m *mailbox) tryTake() []Refresh {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	batch := m.items
+	m.items = nil
+	return batch
+}
+
+// peekPending returns a snapshot of the queued refreshes without
+// removing them — the proxy's early certification scans these.
+func (m *mailbox) peekPending() []Refresh {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Refresh(nil), m.items...)
+}
+
+// len returns the number of queued refreshes.
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// close wakes any blocked take; subsequent puts are dropped.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}

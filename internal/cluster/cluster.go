@@ -1,0 +1,367 @@
+// Package cluster assembles the replicated database of Figure 2 in
+// process: one certifier, N replicas (proxy + storage engine), and a
+// load balancer, with simulated network/IO costs injected from a
+// latency model.
+//
+// Clients interact through Sessions, which reproduce the paper's
+// client path: every interaction flows through the load balancer,
+// transactions are tagged with the minimum start version their
+// consistency mode requires, and commit acknowledgments feed the
+// balancer's version accounting.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/core"
+	"sconrep/internal/history"
+	"sconrep/internal/latency"
+	"sconrep/internal/lb"
+	"sconrep/internal/metrics"
+	"sconrep/internal/replica"
+	"sconrep/internal/sql"
+	"sconrep/internal/storage"
+	"sconrep/internal/wal"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Replicas is the number of database replicas (1–64).
+	Replicas int
+	// Mode is the consistency configuration.
+	Mode core.Mode
+	// Latency is the simulated cost model; the zero Model injects no
+	// delays (useful for correctness tests).
+	Latency latency.Model
+	// DisableEarlyCert turns off early certification (ablation).
+	DisableEarlyCert bool
+	// Seed makes injected jitter deterministic.
+	Seed int64
+	// WAL, when non-nil, backs the certifier's decision log; nil uses
+	// an in-memory log.
+	WAL *wal.Log
+	// RecordHistory enables the consistency-checking event recorder.
+	RecordHistory bool
+}
+
+// Cluster is a running replicated database.
+type Cluster struct {
+	cfg       Config
+	cert      *certifier.Certifier
+	replicas  []*replica.Replica
+	balancer  *lb.LoadBalancer
+	coll      *metrics.Collector
+	rec       *history.Recorder
+	clientLat func(seed int64) *latency.Source
+	nextSess  atomic.Int64
+	nextTxn   atomic.Uint64
+	loaded    bool
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Replicas < 1 || cfg.Replicas > 64 {
+		return nil, fmt.Errorf("cluster: replica count %d out of range [1,64]", cfg.Replicas)
+	}
+	log := cfg.WAL
+	if log == nil {
+		log = wal.NewMemory()
+	}
+	certOpts := []certifier.Option{
+		certifier.WithWAL(log),
+		certifier.WithLatency(latency.NewSource(cfg.Latency, cfg.Seed)),
+	}
+	if cfg.Mode == core.Eager {
+		certOpts = append(certOpts, certifier.WithEager())
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		cert: certifier.New(certOpts...),
+		coll: metrics.NewCollector(),
+		clientLat: func(seed int64) *latency.Source {
+			return latency.NewSource(cfg.Latency, cfg.Seed^seed)
+		},
+	}
+	if cfg.RecordHistory {
+		c.rec = history.NewRecorder()
+	}
+	nodes := make([]lb.Node, 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		r := replica.New(replica.Config{
+			ID:        i,
+			EarlyCert: !cfg.DisableEarlyCert,
+			Latency:   latency.NewSource(cfg.Latency, cfg.Seed+int64(i)*7919+1),
+		}, storage.NewEngine(), replica.Local(c.cert))
+		c.replicas = append(c.replicas, r)
+		nodes = append(nodes, r)
+	}
+	c.balancer = lb.New(cfg.Mode, nodes)
+	return c, nil
+}
+
+// LoadData bootstraps every replica with identical initial data by
+// running load against each engine, then aligns the certifier's
+// version counter with the replicas. load must be deterministic.
+func (c *Cluster) LoadData(load func(e *storage.Engine) error) error {
+	if c.loaded {
+		return errors.New("cluster: LoadData called twice")
+	}
+	var v0 uint64
+	for i, r := range c.replicas {
+		if err := load(r.Engine()); err != nil {
+			return fmt.Errorf("cluster: loading replica %d: %w", i, err)
+		}
+		if i == 0 {
+			v0 = r.Engine().Version()
+		} else if got := r.Engine().Version(); got != v0 {
+			return fmt.Errorf("cluster: non-deterministic load: replica 0 at %d, replica %d at %d", v0, i, got)
+		}
+	}
+	if err := c.cert.StartAt(v0); err != nil {
+		return err
+	}
+	c.loaded = true
+	return nil
+}
+
+// RegisterTxn records the combined static table-set of a named
+// transaction's prepared statements — the workload information the
+// fine-grained mode exploits.
+func (c *Cluster) RegisterTxn(name string, stmts ...*sql.Prepared) {
+	seen := map[string]bool{}
+	var tables []string
+	for _, p := range stmts {
+		for _, t := range p.TableSet {
+			if !seen[t] {
+				seen[t] = true
+				tables = append(tables, t)
+			}
+		}
+	}
+	c.balancer.RegisterTxn(name, tables)
+}
+
+// Mode returns the consistency configuration.
+func (c *Cluster) Mode() core.Mode { return c.cfg.Mode }
+
+// Collector returns the metrics collector.
+func (c *Cluster) Collector() *metrics.Collector { return c.coll }
+
+// Recorder returns the history recorder (nil unless RecordHistory).
+func (c *Cluster) Recorder() *history.Recorder { return c.rec }
+
+// Certifier exposes the certifier (tests, maintenance).
+func (c *Cluster) Certifier() *certifier.Certifier { return c.cert }
+
+// Replica returns replica i.
+func (c *Cluster) Replica(i int) *replica.Replica { return c.replicas[i] }
+
+// NumReplicas returns the configured replica count.
+func (c *Cluster) NumReplicas() int { return len(c.replicas) }
+
+// Balancer exposes the load balancer.
+func (c *Cluster) Balancer() *lb.LoadBalancer { return c.balancer }
+
+// Close detaches all replicas, stopping their appliers.
+func (c *Cluster) Close() {
+	for _, r := range c.replicas {
+		r.Crash()
+	}
+}
+
+// VacuumAll reclaims storage on every replica and trims the
+// certifier's history/index below the slowest replica's version.
+// Safe to call while the cluster runs.
+func (c *Cluster) VacuumAll() {
+	min := uint64(^uint64(0))
+	for _, r := range c.replicas {
+		if v := r.Version(); v < min {
+			min = v
+		}
+	}
+	if min == ^uint64(0) || min == 0 {
+		return
+	}
+	// Transactions may still be running at snapshots as low as min;
+	// keep one extra version of slack.
+	watermark := min - 1
+	for _, r := range c.replicas {
+		r.Engine().Vacuum(watermark)
+	}
+	c.cert.TrimBelow(watermark)
+}
+
+// Session is one client's connection through the load balancer. A
+// session issues transactions serially (closed loop).
+type Session struct {
+	c   *Cluster
+	id  string
+	lat *latency.Source
+}
+
+// NewSession opens a session with a generated ID.
+func (c *Cluster) NewSession() *Session {
+	n := c.nextSess.Add(1)
+	return c.SessionWithID(fmt.Sprintf("session-%d", n))
+}
+
+// SessionWithID opens a session with an explicit ID.
+func (c *Cluster) SessionWithID(id string) *Session {
+	return &Session{c: c, id: id, lat: c.clientLat(int64(len(id)) + c.nextSess.Add(1)*104729)}
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Close drops the session's accounting at the balancer.
+func (s *Session) Close() {
+	s.c.balancer.EndSession(s.id)
+}
+
+// Think blocks for an exponential think time with the given mean.
+func (s *Session) Think(mean time.Duration) { s.lat.Think(mean) }
+
+// Tx is one client transaction in flight.
+type Tx struct {
+	s      *Session
+	rtx    *replica.Txn
+	timer  *metrics.TxnTimer
+	submit time.Time
+	name   string
+	done   bool
+}
+
+// Begin dispatches a transaction named txnName (the identifier the
+// fine-grained mode resolves to a table-set; any string — including
+// "" — works under the other modes).
+func (s *Session) Begin(txnName string) (*Tx, error) {
+	submit := time.Now()
+	// Client → LB → replica.
+	s.lat.NetworkHop()
+	route, err := s.c.balancer.Dispatch(s.id, txnName)
+	if err != nil {
+		return nil, err
+	}
+	s.lat.NetworkHop()
+	timer := metrics.NewTxnTimer()
+	rtx, err := route.Node.(*replica.Replica).Begin(route.MinVersion, timer)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{s: s, rtx: rtx, timer: timer, submit: submit, name: txnName}, nil
+}
+
+// BeginTables dispatches a transaction tagged with an explicit
+// table-set (the paper's footnote-1 alternative to registered
+// transaction names).
+func (s *Session) BeginTables(tables []string) (*Tx, error) {
+	submit := time.Now()
+	s.lat.NetworkHop()
+	route, err := s.c.balancer.DispatchTables(s.id, tables)
+	if err != nil {
+		return nil, err
+	}
+	s.lat.NetworkHop()
+	timer := metrics.NewTxnTimer()
+	rtx, err := route.Node.(*replica.Replica).Begin(route.MinVersion, timer)
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{s: s, rtx: rtx, timer: timer, submit: submit}, nil
+}
+
+// Exec runs one prepared statement (one client round trip).
+func (t *Tx) Exec(p *sql.Prepared, params ...any) (*sql.Result, error) {
+	t.s.lat.RoundTrip()
+	res, err := t.rtx.Exec(p, params...)
+	if err != nil {
+		t.failed(err)
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExecSQL runs one ad-hoc statement.
+func (t *Tx) ExecSQL(src string, params ...any) (*sql.Result, error) {
+	t.s.lat.RoundTrip()
+	res, err := t.rtx.ExecSQL(src, params...)
+	if err != nil {
+		t.failed(err)
+		return nil, err
+	}
+	return res, nil
+}
+
+// failed marks execution errors that already aborted the transaction
+// at the replica so Commit/Abort do not double-count.
+func (t *Tx) failed(err error) {
+	if errors.Is(err, replica.ErrEarlyAbort) || errors.Is(err, replica.ErrCrashed) {
+		if !t.done {
+			t.done = true
+			t.s.c.coll.RecordAbort()
+		}
+	}
+}
+
+// Abort discards the transaction.
+func (t *Tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.rtx.Abort()
+	t.s.c.coll.RecordAbort()
+}
+
+// Commit finishes the transaction through the consistency mode's
+// commit path and records metrics and history.
+func (t *Tx) Commit() (replica.CommitResult, error) {
+	if t.done {
+		return replica.CommitResult{}, replica.ErrTxnDone
+	}
+	t.done = true
+	t.s.lat.RoundTrip()
+	snapshot := t.rtx.Snapshot()
+	readTables := t.rtx.Touched()
+	res, err := t.rtx.Commit(t.s.c.cfg.Mode == core.Eager)
+	if err != nil {
+		t.s.c.coll.RecordAbort()
+		return res, err
+	}
+	// Response travels replica → LB → client.
+	t.s.lat.NetworkHop()
+	t.s.c.balancer.ObserveCommit(t.s.id, res)
+	t.s.lat.NetworkHop()
+	acked := time.Now()
+
+	t.timer.Stop()
+	syncDelay := t.timer.Stage(metrics.StageVersion)
+	if t.s.c.cfg.Mode == core.Eager {
+		syncDelay = t.timer.Stage(metrics.StageGlobal)
+	}
+	t.s.c.coll.RecordCommit(t.timer, !res.ReadOnly, acked.Sub(t.submit), syncDelay)
+	if rec := t.s.c.rec; rec != nil {
+		rec.Record(history.Event{
+			TxnID:       t.s.c.nextTxn.Add(1),
+			Session:     t.s.id,
+			ReadOnly:    res.ReadOnly,
+			Submit:      t.submit,
+			Acked:       acked,
+			Snapshot:    snapshot,
+			Commit:      res.Version,
+			WriteTables: res.WrittenTables,
+			ReadTables:  readTables,
+		})
+	}
+	return res, nil
+}
+
+// Timer exposes the transaction's stage timer (tests).
+func (t *Tx) Timer() *metrics.TxnTimer { return t.timer }
+
+// Snapshot returns the version the transaction reads.
+func (t *Tx) Snapshot() uint64 { return t.rtx.Snapshot() }

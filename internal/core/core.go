@@ -1,0 +1,268 @@
+// Package core distills the paper's contribution: the four consistency
+// configurations and the rule that decides, for each new transaction,
+// the minimum database version its replica must reach before the
+// transaction may start (the "synchronization start delay" bound).
+//
+// The load balancer owns one Tracker. Replicas report the versions
+// their commits produce; the tracker folds them into
+//
+//   - Vsystem  — the version of the latest commit acknowledged to any
+//     client (coarse-grained strong consistency synchronizes on this);
+//   - Vt       — per-table versions: the latest commit that wrote each
+//     table (fine-grained strong consistency synchronizes on the max
+//     over the transaction's table-set);
+//   - Vsession — per-session versions: the latest commit acknowledged
+//     to each client session (session consistency synchronizes on
+//     this).
+//
+// Eager strong consistency needs no start version at all (every
+// replica already committed everything acknowledged), paying instead
+// with the global commit delay at the end of update transactions.
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode selects the consistency configuration (§III and §IV).
+type Mode int
+
+const (
+	// Eager — eager strong consistency (ESC): commits are acknowledged
+	// only after every replica applied them; transactions start
+	// immediately.
+	Eager Mode = iota
+	// Coarse — lazy coarse-grained strong consistency (CSC):
+	// transaction start is delayed until the replica has applied every
+	// writeset committed system-wide (Vlocal ≥ Vsystem).
+	Coarse
+	// Fine — lazy fine-grained strong consistency (FSC): transaction
+	// start is delayed until the tables in its table-set are current
+	// (Vlocal ≥ max{Vt}).
+	Fine
+	// Session — session consistency (SC), the weaker baseline: start is
+	// delayed until the session's own last commit is visible.
+	Session
+)
+
+// String returns the configuration label used in EXPERIMENTS.md.
+func (m Mode) String() string {
+	switch m {
+	case Eager:
+		return "ESC"
+	case Coarse:
+		return "CSC"
+	case Fine:
+		return "FSC"
+	case Session:
+		return "SC"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Strong reports whether the mode guarantees strong consistency
+// (Definition 1). Session consistency does not.
+func (m Mode) Strong() bool { return m != Session }
+
+// ParseMode maps a label (as accepted by the CLI tools) to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "ESC", "esc", "eager":
+		return Eager, nil
+	case "CSC", "csc", "coarse":
+		return Coarse, nil
+	case "FSC", "fsc", "fine":
+		return Fine, nil
+	case "SC", "sc", "session":
+		return Session, nil
+	default:
+		return 0, fmt.Errorf("core: unknown consistency mode %q (want ESC, CSC, FSC, or SC)", s)
+	}
+}
+
+// Tracker is the load balancer's version accounting: soft state,
+// rebuilt from replica responses after a failover.
+type Tracker struct {
+	mu       sync.Mutex
+	vsystem  uint64
+	tables   map[string]uint64
+	sessions map[string]uint64
+}
+
+// NewTracker returns a tracker at version 0 with no known tables.
+func NewTracker() *Tracker {
+	return &Tracker{
+		tables:   make(map[string]uint64),
+		sessions: make(map[string]uint64),
+	}
+}
+
+// ObserveCommit folds one acknowledged commit into the tracker:
+// version is the certifier-assigned commit version, writtenTables the
+// tables in the transaction's writeset, session the committing
+// client's session ID ("" for none).
+//
+// Versions only move forward; replica responses may arrive out of
+// order.
+func (t *Tracker) ObserveCommit(version uint64, writtenTables []string, session string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if version > t.vsystem {
+		t.vsystem = version
+	}
+	for _, tab := range writtenTables {
+		if version > t.tables[tab] {
+			t.tables[tab] = version
+		}
+	}
+	if session != "" && version > t.sessions[session] {
+		t.sessions[session] = version
+	}
+}
+
+// ObserveReadOnly records a read-only completion for a session: the
+// session must continue to see at least the snapshot it just read
+// (monotonic reads within the session).
+func (t *Tracker) ObserveReadOnly(snapshot uint64, session string) {
+	if session == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if snapshot > t.sessions[session] {
+		t.sessions[session] = snapshot
+	}
+}
+
+// VSystem returns the current system version.
+func (t *Tracker) VSystem() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.vsystem
+}
+
+// TableVersion returns Vt for one table.
+func (t *Tracker) TableVersion(table string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tables[table]
+}
+
+// SessionVersion returns the session's last acknowledged version.
+func (t *Tracker) SessionVersion(session string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sessions[session]
+}
+
+// MinStartVersion returns the version the executing replica must reach
+// before the transaction may start, per Theorems 1 and 2:
+//
+//	Eager   → 0            (replicas are always current for acked txns)
+//	Coarse  → max(Vsystem, Vsession)
+//	Fine    → max(max{Vt : t ∈ tableSet}, Vsession)
+//	Session → Vsession
+//
+// For Fine, a table never written since system start has Vt = 0, so a
+// transaction over read-only tables starts immediately — the behaviour
+// §III-C highlights.
+//
+// The lazy strong modes take the maximum with the session floor so
+// they are never weaker than session consistency on any axis: a
+// session that read a snapshot *fresher* than Vsystem (its replica had
+// applied a not-yet-acknowledged commit) must not regress on its next
+// transaction. Strong consistency alone does not forbid that — the
+// fresher commit was unacknowledged — but monotonic session reads do,
+// and SC provides them, so CSC/FSC must too.
+func (t *Tracker) MinStartVersion(mode Mode, tableSet []string, session string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	floor := t.sessions[session]
+	switch mode {
+	case Eager:
+		return 0
+	case Coarse:
+		return maxU64(t.vsystem, floor)
+	case Fine:
+		v := floor
+		for _, tab := range tableSet {
+			if tv := t.tables[tab]; tv > v {
+				v = tv
+			}
+		}
+		return v
+	case Session:
+		return floor
+	default:
+		// Unknown modes get the strongest (coarse) treatment rather
+		// than silently weakening consistency.
+		return maxU64(t.vsystem, floor)
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ForgetSession drops a session's accounting (client disconnect).
+func (t *Tracker) ForgetSession(session string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.sessions, session)
+}
+
+// Snapshot returns a copy of all table versions, for inspection.
+func (t *Tracker) Snapshot() (vsystem uint64, tables map[string]uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tables = make(map[string]uint64, len(t.tables))
+	for k, v := range t.tables {
+		tables[k] = v
+	}
+	return t.vsystem, tables
+}
+
+// TableSetRegistry maps transaction identifiers to their statically
+// extracted table-sets (§IV-B: the load balancer retrieves this
+// information once and keeps it in a dictionary; clients tag requests
+// with the transaction identifier).
+type TableSetRegistry struct {
+	mu   sync.RWMutex
+	sets map[string][]string
+}
+
+// NewTableSetRegistry returns an empty registry.
+func NewTableSetRegistry() *TableSetRegistry {
+	return &TableSetRegistry{sets: make(map[string][]string)}
+}
+
+// Register records the table-set for a transaction identifier.
+func (r *TableSetRegistry) Register(txnName string, tables []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sets[txnName] = append([]string(nil), tables...)
+}
+
+// Lookup returns the registered table-set and whether it is known.
+func (r *TableSetRegistry) Lookup(txnName string) ([]string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ts, ok := r.sets[txnName]
+	return ts, ok
+}
+
+// Names returns all registered transaction identifiers.
+func (r *TableSetRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sets))
+	for k := range r.sets {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModeStrings(t *testing.T) {
+	cases := map[Mode]string{Eager: "ESC", Coarse: "CSC", Fine: "FSC", Session: "SC"}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+		back, err := ParseMode(want)
+		if err != nil || back != m {
+			t.Errorf("ParseMode(%q) = %v, %v", want, back, err)
+		}
+	}
+	if !Eager.Strong() || !Coarse.Strong() || !Fine.Strong() {
+		t.Error("strong modes misreported")
+	}
+	if Session.Strong() {
+		t.Error("session consistency reported as strong")
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus mode")
+	}
+}
+
+// TestTableI reproduces Table I of the paper exactly: six update
+// transactions over tables A, B, C and the resulting database and
+// table versions.
+func TestTableI(t *testing.T) {
+	tr := NewTracker()
+	steps := []struct {
+		tables              []string
+		wantSys             uint64
+		wantA, wantB, wantC uint64
+	}{
+		{[]string{"a"}, 1, 1, 0, 0},      // T1 updates A
+		{[]string{"b", "c"}, 2, 1, 2, 2}, // T2 updates B,C
+		{[]string{"b"}, 3, 1, 3, 2},      // T3 updates B
+		{[]string{"c"}, 4, 1, 3, 4},      // T4 updates C
+		{[]string{"b", "c"}, 5, 1, 5, 5}, // T5 updates B,C
+	}
+	for i, st := range steps {
+		tr.ObserveCommit(uint64(i+1), st.tables, "")
+		if got := tr.VSystem(); got != st.wantSys {
+			t.Fatalf("after T%d: Vsystem = %d, want %d", i+1, got, st.wantSys)
+		}
+		if got := tr.TableVersion("a"); got != st.wantA {
+			t.Fatalf("after T%d: VA = %d, want %d", i+1, got, st.wantA)
+		}
+		if got := tr.TableVersion("b"); got != st.wantB {
+			t.Fatalf("after T%d: VB = %d, want %d", i+1, got, st.wantB)
+		}
+		if got := tr.TableVersion("c"); got != st.wantC {
+			t.Fatalf("after T%d: VC = %d, want %d", i+1, got, st.wantC)
+		}
+	}
+
+	// T6 reads and writes table A only. The paper's point: coarse
+	// requires Vlocal = 5, fine requires only Vlocal = 1.
+	if got := tr.MinStartVersion(Coarse, []string{"a"}, ""); got != 5 {
+		t.Fatalf("CSC start version = %d, want 5", got)
+	}
+	if got := tr.MinStartVersion(Fine, []string{"a"}, ""); got != 1 {
+		t.Fatalf("FSC start version = %d, want 1", got)
+	}
+	if got := tr.MinStartVersion(Eager, []string{"a"}, ""); got != 0 {
+		t.Fatalf("ESC start version = %d, want 0", got)
+	}
+}
+
+func TestFineReadOnlyTablesStartImmediately(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveCommit(1, []string{"orders"}, "")
+	tr.ObserveCommit(2, []string{"orders"}, "")
+	// "country" has never been written: fine-grained needs version 0.
+	if got := tr.MinStartVersion(Fine, []string{"country"}, ""); got != 0 {
+		t.Fatalf("FSC on read-only table = %d, want 0", got)
+	}
+	if got := tr.MinStartVersion(Fine, []string{"country", "orders"}, ""); got != 2 {
+		t.Fatalf("FSC on mixed set = %d, want 2", got)
+	}
+}
+
+func TestSessionTracking(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveCommit(3, []string{"t"}, "alice")
+	tr.ObserveCommit(7, []string{"t"}, "bob")
+	if got := tr.MinStartVersion(Session, nil, "alice"); got != 3 {
+		t.Fatalf("alice session version = %d, want 3", got)
+	}
+	if got := tr.MinStartVersion(Session, nil, "bob"); got != 7 {
+		t.Fatalf("bob session version = %d, want 7", got)
+	}
+	if got := tr.MinStartVersion(Session, nil, "carol"); got != 0 {
+		t.Fatalf("new session version = %d, want 0", got)
+	}
+	// Coarse sees every session's updates.
+	if got := tr.MinStartVersion(Coarse, nil, "alice"); got != 7 {
+		t.Fatalf("coarse after bob = %d, want 7", got)
+	}
+	tr.ForgetSession("bob")
+	if got := tr.SessionVersion("bob"); got != 0 {
+		t.Fatalf("forgotten session = %d", got)
+	}
+}
+
+func TestObserveReadOnlyAdvancesSessionMonotonically(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveCommit(5, []string{"t"}, "s")
+	tr.ObserveReadOnly(9, "s") // read a snapshot at 9 on a fresh replica
+	if got := tr.SessionVersion("s"); got != 9 {
+		t.Fatalf("session after read = %d, want 9", got)
+	}
+	tr.ObserveReadOnly(2, "s") // older read must not regress
+	if got := tr.SessionVersion("s"); got != 9 {
+		t.Fatalf("session regressed to %d", got)
+	}
+	tr.ObserveReadOnly(1, "") // no session: no-op, must not panic
+}
+
+func TestOutOfOrderObservations(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveCommit(5, []string{"x"}, "s")
+	tr.ObserveCommit(3, []string{"x", "y"}, "s")
+	if tr.VSystem() != 5 {
+		t.Fatalf("Vsystem = %d, want 5", tr.VSystem())
+	}
+	if tr.TableVersion("x") != 5 {
+		t.Fatalf("Vx = %d, want 5", tr.TableVersion("x"))
+	}
+	if tr.TableVersion("y") != 3 {
+		t.Fatalf("Vy = %d, want 3", tr.TableVersion("y"))
+	}
+	if tr.SessionVersion("s") != 5 {
+		t.Fatalf("Vsession = %d, want 5", tr.SessionVersion("s"))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewTableSetRegistry()
+	r.Register("getBestSellers", []string{"order_line", "item", "orders"})
+	ts, ok := r.Lookup("getBestSellers")
+	if !ok || len(ts) != 3 {
+		t.Fatalf("lookup = %v, %v", ts, ok)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("lookup of unregistered name succeeded")
+	}
+	// The registry must copy: callers mutating their slice must not
+	// affect stored sets.
+	src := []string{"a"}
+	r.Register("t", src)
+	src[0] = "mutated"
+	ts, _ = r.Lookup("t")
+	if ts[0] != "a" {
+		t.Fatal("registry shares storage with caller")
+	}
+	if len(r.Names()) != 2 {
+		t.Fatalf("names = %v", r.Names())
+	}
+}
+
+// TestQuickInvariants checks the ordering invariants of the tracker
+// under random observation sequences:
+//
+//  1. Vsystem = max over all observed versions.
+//  2. Vt ≤ Vsystem for every table.
+//  3. Fine start version ≤ Coarse start version (Theorem 2's benefit).
+//  4. Session start version ≤ Coarse start version.
+//  5. MinStartVersion(Fine, S) = max over tables in S of Vt.
+func TestQuickInvariants(t *testing.T) {
+	type obs struct {
+		Version uint64
+		Tables  []uint8
+		Session uint8
+	}
+	f := func(observations []obs, probe []uint8, sess uint8) bool {
+		tr := NewTracker()
+		var maxV uint64
+		for _, o := range observations {
+			v := o.Version % 1000
+			var tabs []string
+			for _, tb := range o.Tables {
+				tabs = append(tabs, string(rune('a'+tb%6)))
+			}
+			tr.ObserveCommit(v, tabs, string(rune('A'+o.Session%4)))
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if tr.VSystem() != maxV {
+			return false
+		}
+		var probeSet []string
+		for _, tb := range probe {
+			probeSet = append(probeSet, string(rune('a'+tb%6)))
+		}
+		session := string(rune('A' + sess%4))
+		coarse := tr.MinStartVersion(Coarse, probeSet, session)
+		fine := tr.MinStartVersion(Fine, probeSet, session)
+		sessionV := tr.MinStartVersion(Session, probeSet, session)
+		if fine > coarse || sessionV > coarse {
+			return false
+		}
+		wantFine := tr.SessionVersion(session)
+		for _, tb := range probeSet {
+			if v := tr.TableVersion(tb); v > wantFine {
+				wantFine = v
+			}
+			if tr.TableVersion(tb) > tr.VSystem() {
+				return false
+			}
+		}
+		return fine == wantFine
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

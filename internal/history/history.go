@@ -1,0 +1,229 @@
+// Package history records client-observed transaction events and
+// checks them against the paper's correctness definitions:
+//
+//	Definition 1 (strong consistency): if Ti commits before Tj starts —
+//	in client-observable real time — then Tj must observe Ti's effects:
+//	Tj's snapshot version must include Ti's commit version.
+//
+//	Definition 2 (session consistency): the same guarantee restricted
+//	to pairs within one session.
+//
+// The checkers are an independent oracle: they know nothing about
+// modes or trackers, only client-side timestamps and the versions the
+// replicas reported, so a protocol bug in the middleware shows up as a
+// violation here.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one committed transaction as the client experienced it.
+type Event struct {
+	TxnID   uint64
+	Session string
+	// ReadOnly marks transactions with empty writesets.
+	ReadOnly bool
+	// Submit is when the client asked to begin the transaction;
+	// Acked is when the client learned the commit outcome. Both are
+	// client-side times, which is what "commits before ... starts"
+	// means for an external observer.
+	Submit time.Time
+	Acked  time.Time
+	// Snapshot is the database version the transaction read.
+	Snapshot uint64
+	// Commit is the assigned commit version (updates), or Snapshot for
+	// read-only transactions.
+	Commit uint64
+	// WriteTables lists the tables the transaction wrote (updates).
+	// ReadTables lists the tables it accessed (reads and writes).
+	// When both are empty the checkers fall back to version-only
+	// comparison, which is sound but stricter than Definition 1: it
+	// flags invisibility of commits the transaction could not have
+	// observed anyway.
+	WriteTables []string
+	ReadTables  []string
+}
+
+// Recorder accumulates events from concurrent clients.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one event.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of everything recorded.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Violation is one pair of transactions breaking a guarantee: later
+// began after earlier was acknowledged, yet read a snapshot that
+// excludes earlier's commit.
+type Violation struct {
+	Earlier, Later Event
+	Guarantee      string
+}
+
+// String formats the violation for test failure messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation: txn %d (session %s) committed version %d at %s; txn %d (session %s) began at %s but read snapshot %d",
+		v.Guarantee,
+		v.Earlier.TxnID, v.Earlier.Session, v.Earlier.Commit, v.Earlier.Acked.Format("15:04:05.000000"),
+		v.Later.TxnID, v.Later.Session, v.Later.Submit.Format("15:04:05.000000"), v.Later.Snapshot)
+}
+
+// maxViolations bounds the returned slice so a systematically broken
+// run does not drown the report.
+const maxViolations = 100
+
+// CheckStrong verifies Definition 1 over the events: for every update
+// Ti acknowledged before Tj was submitted, Tj.Snapshot ≥ Ti.Commit.
+// It returns violations (bounded to the first 100).
+func CheckStrong(events []Event) []Violation {
+	return sweep(events, "strong consistency")
+}
+
+// CheckSession verifies Definition 2: the strong-consistency condition
+// restricted to pairs within the same session.
+func CheckSession(events []Event) []Violation {
+	bySession := map[string][]Event{}
+	for _, e := range events {
+		if e.Session != "" {
+			bySession[e.Session] = append(bySession[e.Session], e)
+		}
+	}
+	var out []Violation
+	// Deterministic order across runs.
+	var sessions []string
+	for s := range bySession {
+		sessions = append(sessions, s)
+	}
+	sort.Strings(sessions)
+	for _, s := range sessions {
+		out = append(out, sweepNamed(bySession[s], "session consistency")...)
+		if len(out) >= maxViolations {
+			return out[:maxViolations]
+		}
+	}
+	return out
+}
+
+func sweep(events []Event, guarantee string) []Violation {
+	return sweepNamed(events, guarantee)
+}
+
+// sweepNamed runs the O(n log n + n·t) real-time check: walking
+// transactions in submit order while tracking, globally and per
+// written table, the highest commit version already acknowledged.
+//
+// Definition 1 constrains only what a transaction can observe: if the
+// later transaction declares the tables it reads, a violation requires
+// an acknowledged-earlier update to a table it actually read to be
+// missing from its snapshot (view equivalence). Fine-grained strong
+// consistency is exactly the mode that exploits this. Transactions
+// without table information are held to the stricter version-only
+// test.
+func sweepNamed(events []Event, guarantee string) []Violation {
+	updates := make([]Event, 0, len(events))
+	for _, e := range events {
+		if !e.ReadOnly {
+			updates = append(updates, e)
+		}
+	}
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Acked.Before(updates[j].Acked) })
+	bySubmit := append([]Event(nil), events...)
+	sort.Slice(bySubmit, func(i, j int) bool { return bySubmit[i].Submit.Before(bySubmit[j].Submit) })
+
+	var out []Violation
+	var maxEvent *Event               // max over all acked updates
+	maxByTable := map[string]*Event{} // max per written table
+	ptr := 0
+	for i := range bySubmit {
+		tj := &bySubmit[i]
+		for ptr < len(updates) && updates[ptr].Acked.Before(tj.Submit) {
+			u := &updates[ptr]
+			if maxEvent == nil || u.Commit > maxEvent.Commit {
+				maxEvent = u
+			}
+			for _, tab := range u.WriteTables {
+				if cur := maxByTable[tab]; cur == nil || u.Commit > cur.Commit {
+					maxByTable[tab] = u
+				}
+			}
+			ptr++
+		}
+		var required *Event
+		if len(tj.ReadTables) > 0 {
+			for _, tab := range tj.ReadTables {
+				if cur := maxByTable[tab]; cur != nil && (required == nil || cur.Commit > required.Commit) {
+					required = cur
+				}
+			}
+		} else {
+			required = maxEvent
+		}
+		if required != nil && tj.Snapshot < required.Commit && tj.TxnID != required.TxnID {
+			out = append(out, Violation{Earlier: *required, Later: *tj, Guarantee: guarantee})
+			if len(out) >= maxViolations {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// CheckMonotonicSessions verifies that within each session, snapshot
+// versions never go backwards in submit order — the "never go back in
+// time" property §VI ascribes to session consistency.
+func CheckMonotonicSessions(events []Event) []Violation {
+	bySession := map[string][]Event{}
+	for _, e := range events {
+		if e.Session != "" {
+			bySession[e.Session] = append(bySession[e.Session], e)
+		}
+	}
+	var sessions []string
+	for s := range bySession {
+		sessions = append(sessions, s)
+	}
+	sort.Strings(sessions)
+	var out []Violation
+	for _, s := range sessions {
+		evs := bySession[s]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Submit.Before(evs[j].Submit) })
+		// A session is serial: each txn submits after the previous was
+		// acknowledged. Guard against overlapping submissions, which
+		// would make "previous" meaningless.
+		for i := 1; i < len(evs); i++ {
+			if !evs[i].Submit.Before(evs[i-1].Acked) && evs[i].Snapshot < evs[i-1].Snapshot {
+				out = append(out, Violation{Earlier: evs[i-1], Later: evs[i], Guarantee: "monotonic session snapshots"})
+				if len(out) >= maxViolations {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// mk builds an event with millisecond offsets from a fixed origin.
+func mk(id uint64, session string, ro bool, submitMS, ackMS int, snapshot, commit uint64) Event {
+	origin := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return Event{
+		TxnID:    id,
+		Session:  session,
+		ReadOnly: ro,
+		Submit:   origin.Add(time.Duration(submitMS) * time.Millisecond),
+		Acked:    origin.Add(time.Duration(ackMS) * time.Millisecond),
+		Snapshot: snapshot,
+		Commit:   commit,
+	}
+}
+
+// TestPaperHistoryH1 encodes history H1 from §II: T1 writes X and
+// commits at version 1; T2 starts afterwards but reads the old value
+// (snapshot 0). H1 is serializable yet NOT strongly consistent.
+func TestPaperHistoryH1(t *testing.T) {
+	events := []Event{
+		mk(1, "A", false, 0, 10, 0, 1), // T1: W(X=1), commit v1
+		mk(2, "B", true, 20, 30, 0, 0), // T2: R(X=0) — stale snapshot
+	}
+	if v := CheckStrong(events); len(v) != 1 {
+		t.Fatalf("H1 should violate strong consistency once, got %v", v)
+	}
+	// Different sessions: session consistency holds.
+	if v := CheckSession(events); len(v) != 0 {
+		t.Fatalf("H1 should satisfy session consistency, got %v", v)
+	}
+}
+
+// TestPaperHistoryH2 encodes H2: strong consistency enforced, T2 reads
+// the latest value.
+func TestPaperHistoryH2(t *testing.T) {
+	events := []Event{
+		mk(1, "A", false, 0, 10, 0, 1),
+		mk(2, "B", true, 20, 30, 1, 1), // snapshot includes T1
+	}
+	if v := CheckStrong(events); len(v) != 0 {
+		t.Fatalf("H2 should be strongly consistent, got %v", v)
+	}
+}
+
+// TestPaperHistoryH3 encodes H3: two concurrent transactions that both
+// read the latest committed state then write disjoint items (snapshot
+// isolated, not serializable — write skew). Strong consistency is
+// about commit visibility, so H3 passes the strong check.
+func TestPaperHistoryH3(t *testing.T) {
+	events := []Event{
+		mk(1, "A", false, 0, 50, 0, 1), // overlapping execution
+		mk(2, "B", false, 5, 60, 0, 2),
+	}
+	if v := CheckStrong(events); len(v) != 0 {
+		t.Fatalf("H3 (concurrent txns) should pass strong check, got %v", v)
+	}
+}
+
+func TestSessionViolation(t *testing.T) {
+	events := []Event{
+		mk(1, "s1", false, 0, 10, 0, 1),
+		mk(2, "s1", true, 20, 25, 0, 0), // own update invisible: violation
+		mk(3, "s2", true, 30, 35, 0, 0), // other session: no session violation
+	}
+	v := CheckSession(events)
+	if len(v) != 1 || v[0].Later.TxnID != 2 {
+		t.Fatalf("session violations = %v", v)
+	}
+	// But strong consistency is violated for both readers.
+	if v := CheckStrong(events); len(v) != 2 {
+		t.Fatalf("strong violations = %v", v)
+	}
+}
+
+func TestConcurrentNotRequired(t *testing.T) {
+	// Ti acked AFTER Tj submitted: no obligation even if Tj read less.
+	events := []Event{
+		mk(1, "A", false, 0, 100, 0, 5),
+		mk(2, "B", true, 50, 60, 0, 0),
+	}
+	if v := CheckStrong(events); len(v) != 0 {
+		t.Fatalf("overlapping txns flagged: %v", v)
+	}
+}
+
+func TestReadOnlyImposesNothing(t *testing.T) {
+	// A read-only txn acked early does not oblige later snapshots.
+	events := []Event{
+		mk(1, "A", true, 0, 10, 7, 7),
+		mk(2, "B", true, 20, 30, 0, 0),
+	}
+	if v := CheckStrong(events); len(v) != 0 {
+		t.Fatalf("read-only imposed visibility: %v", v)
+	}
+}
+
+func TestMonotonicSessions(t *testing.T) {
+	good := []Event{
+		mk(1, "s", true, 0, 10, 3, 3),
+		mk(2, "s", true, 20, 30, 5, 5),
+	}
+	if v := CheckMonotonicSessions(good); len(v) != 0 {
+		t.Fatalf("monotonic session flagged: %v", v)
+	}
+	bad := []Event{
+		mk(1, "s", true, 0, 10, 5, 5),
+		mk(2, "s", true, 20, 30, 3, 3), // went back in time
+	}
+	if v := CheckMonotonicSessions(bad); len(v) != 1 {
+		t.Fatalf("regression not flagged: %v", v)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				r.Record(mk(uint64(g*1000+i), "s", false, i, i+1, 0, 1))
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if r.Len() != 800 {
+		t.Fatalf("recorded %d events, want 800", r.Len())
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{
+		Earlier:   mk(1, "a", false, 0, 1, 0, 9),
+		Later:     mk(2, "b", true, 5, 6, 3, 3),
+		Guarantee: "strong consistency",
+	}
+	s := v.String()
+	if s == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+// TestQuickSweepMatchesNaive compares the O(n log n) checker with the
+// O(n²) definition over random histories.
+func TestQuickSweepMatchesNaive(t *testing.T) {
+	type rawEvent struct {
+		Submit   uint16
+		Duration uint8
+		Snapshot uint8
+		Commit   uint8
+		ReadOnly bool
+	}
+	f := func(raws []rawEvent) bool {
+		if len(raws) > 24 {
+			raws = raws[:24]
+		}
+		events := make([]Event, len(raws))
+		for i, rw := range raws {
+			commit := uint64(rw.Commit)
+			if rw.ReadOnly {
+				commit = uint64(rw.Snapshot)
+			}
+			events[i] = mk(uint64(i+1), "s", rw.ReadOnly,
+				int(rw.Submit), int(rw.Submit)+int(rw.Duration)+1,
+				uint64(rw.Snapshot), commit)
+		}
+		// Naive: every pair.
+		naiveViolated := map[uint64]bool{}
+		for i := range events {
+			for j := range events {
+				ti, tj := events[i], events[j]
+				if ti.ReadOnly || i == j {
+					continue
+				}
+				if ti.Acked.Before(tj.Submit) && tj.Snapshot < ti.Commit {
+					naiveViolated[tj.TxnID] = true
+				}
+			}
+		}
+		fastViolated := map[uint64]bool{}
+		for _, v := range CheckStrong(events) {
+			fastViolated[v.Later.TxnID] = true
+		}
+		if len(naiveViolated) != len(fastViolated) {
+			return false
+		}
+		for id := range naiveViolated {
+			if !fastViolated[id] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

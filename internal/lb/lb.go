@@ -1,0 +1,182 @@
+// Package lb implements the load balancer of §IV: the intermediary
+// that hides the cluster from clients. It routes each transaction to
+// the replica with the fewest active transactions, and tags the
+// request with the minimum start version the session's consistency
+// mode requires — which is where the coarse-grained, fine-grained, and
+// session techniques actually live.
+//
+// The load balancer holds soft state only (active counts, version
+// accounting, the table-set dictionary); it can be rebuilt from
+// replica responses, which is the paper's fault-tolerance argument for
+// using a standby rather than replicating it.
+package lb
+
+import (
+	"errors"
+	"sync"
+
+	"sconrep/internal/core"
+	"sconrep/internal/replica"
+)
+
+// Node is the view of a replica the balancer needs for routing.
+type Node interface {
+	ID() int
+	Active() int
+	Crashed() bool
+}
+
+// ErrNoReplicas is returned when every replica is crashed.
+var ErrNoReplicas = errors.New("lb: no live replicas")
+
+// LoadBalancer routes transactions and enforces the consistency mode
+// by version tagging.
+type LoadBalancer struct {
+	mode     core.Mode
+	tracker  *core.Tracker
+	registry *core.TableSetRegistry
+
+	mu    sync.Mutex
+	nodes []Node
+	// rr breaks ties among equally loaded replicas so a idle cluster
+	// still spreads sessions.
+	rr int
+}
+
+// New returns a balancer over the given replicas.
+func New(mode core.Mode, nodes []Node) *LoadBalancer {
+	return &LoadBalancer{
+		mode:     mode,
+		tracker:  core.NewTracker(),
+		registry: core.NewTableSetRegistry(),
+		nodes:    append([]Node(nil), nodes...),
+	}
+}
+
+// Mode returns the consistency configuration in force.
+func (l *LoadBalancer) Mode() core.Mode { return l.mode }
+
+// Tracker exposes the version accounting (tests, monitoring).
+func (l *LoadBalancer) Tracker() *core.Tracker { return l.tracker }
+
+// Registry exposes the transaction table-set dictionary.
+func (l *LoadBalancer) Registry() *core.TableSetRegistry { return l.registry }
+
+// RegisterTxn records the static table-set for a named transaction —
+// the dictionary the fine-grained mode consults (§IV-B stores it in
+// the database; here the application registers its prepared
+// transactions at startup, which is equivalent and keeps the
+// dictionary warm).
+func (l *LoadBalancer) RegisterTxn(name string, tableSet []string) {
+	l.registry.Register(name, tableSet)
+}
+
+// AddNode attaches a replica to the routing set.
+func (l *LoadBalancer) AddNode(n Node) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nodes = append(l.nodes, n)
+}
+
+// Route describes where and how a transaction should start.
+type Route struct {
+	Node Node
+	// MinVersion is the synchronization start bound the replica must
+	// reach before the transaction begins.
+	MinVersion uint64
+}
+
+// pick selects the live replica with the fewest active transactions,
+// breaking ties round-robin.
+func (l *LoadBalancer) pick() (Node, error) {
+	l.mu.Lock()
+	var best Node
+	bestActive := int(^uint(0) >> 1)
+	n := len(l.nodes)
+	for i := 0; i < n; i++ {
+		node := l.nodes[(l.rr+i)%n]
+		if node.Crashed() {
+			continue
+		}
+		if a := node.Active(); a < bestActive {
+			best = node
+			bestActive = a
+		}
+	}
+	l.rr++
+	l.mu.Unlock()
+	if best == nil {
+		return nil, ErrNoReplicas
+	}
+	return best, nil
+}
+
+// Dispatch picks a replica (least active transactions, skipping
+// crashed nodes) and computes the start-version tag for a transaction.
+//
+// txnName selects the table-set under fine-grained consistency; an
+// unregistered or empty name falls back to coarse-grained treatment
+// (synchronize on Vsystem), preserving strong consistency when the
+// workload information is missing — the degradation §V-D describes.
+func (l *LoadBalancer) Dispatch(sessionID, txnName string) (Route, error) {
+	best, err := l.pick()
+	if err != nil {
+		return Route{}, err
+	}
+
+	mode := l.mode
+	if mode == core.Fine {
+		ts, ok := l.registry.Lookup(txnName)
+		if !ok {
+			// Unknown workload: degrade to coarse, never to weaker.
+			return Route{Node: best, MinVersion: l.tracker.MinStartVersion(core.Coarse, nil, sessionID)}, nil
+		}
+		return Route{Node: best, MinVersion: l.tracker.MinStartVersion(core.Fine, ts, sessionID)}, nil
+	}
+	return Route{Node: best, MinVersion: l.tracker.MinStartVersion(mode, nil, sessionID)}, nil
+}
+
+// DispatchTables is Dispatch with an explicit table-set instead of a
+// registered transaction name — the paper's footnote-1 alternative
+// where clients tag requests with the tables they will access. Under
+// non-fine modes the table-set is ignored.
+func (l *LoadBalancer) DispatchTables(sessionID string, tables []string) (Route, error) {
+	if l.mode != core.Fine {
+		return l.Dispatch(sessionID, "")
+	}
+	node, err := l.pick()
+	if err != nil {
+		return Route{}, err
+	}
+	return Route{Node: node, MinVersion: l.tracker.MinStartVersion(core.Fine, tables, sessionID)}, nil
+}
+
+// ObserveCommit folds a replica's commit response into the version
+// accounting. For read-only transactions the snapshot keeps the
+// session monotonic; for updates Vsystem, the written tables' Vt, and
+// the session version all advance.
+func (l *LoadBalancer) ObserveCommit(sessionID string, res replica.CommitResult) {
+	if res.ReadOnly {
+		l.tracker.ObserveReadOnly(res.Version, sessionID)
+		return
+	}
+	l.tracker.ObserveCommit(res.Version, res.WrittenTables, sessionID)
+}
+
+// EndSession drops a session's accounting.
+func (l *LoadBalancer) EndSession(sessionID string) {
+	l.tracker.ForgetSession(sessionID)
+}
+
+// LiveReplicas returns the number of non-crashed nodes.
+func (l *LoadBalancer) LiveReplicas() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, node := range l.nodes {
+		if !node.Crashed() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,278 @@
+// Package metrics collects the measurements the paper reports:
+// throughput (TPS), response time, and the per-transaction latency
+// decomposition of §V-A — version / queries / certify / sync / commit /
+// global — plus the synchronization delay series of Figure 6.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage identifies one component of a transaction's latency.
+type Stage int
+
+const (
+	// StageVersion is the synchronization start delay: waiting for the
+	// replica to reach the version required by the consistency mode.
+	StageVersion Stage = iota
+	// StageQueries is SQL statement execution.
+	StageQueries
+	// StageCertify is the round trip to the certifier.
+	StageCertify
+	// StageSync is waiting for earlier commits (refresh or local) so
+	// the transaction commits in certifier order.
+	StageSync
+	// StageCommit is the local DBMS commit.
+	StageCommit
+	// StageGlobal is the eager mode's global commit delay: waiting for
+	// every replica to apply and commit the transaction.
+	StageGlobal
+	numStages
+)
+
+// Stages lists all stages in presentation order.
+var Stages = []Stage{StageVersion, StageQueries, StageCertify, StageSync, StageCommit, StageGlobal}
+
+// String returns the label used in Figure 4.
+func (s Stage) String() string {
+	switch s {
+	case StageVersion:
+		return "Version"
+	case StageQueries:
+		return "Queries"
+	case StageCertify:
+		return "Certify"
+	case StageSync:
+		return "Sync"
+	case StageCommit:
+		return "Commit"
+	case StageGlobal:
+		return "Global"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// TxnTimer accumulates one transaction's stage durations. It is not
+// safe for concurrent use; each in-flight transaction owns one.
+type TxnTimer struct {
+	stages  [numStages]time.Duration
+	started time.Time
+	current Stage
+	running bool
+}
+
+// NewTxnTimer returns a timer with no running stage.
+func NewTxnTimer() *TxnTimer { return &TxnTimer{} }
+
+// Start begins timing a stage, ending any stage already running.
+func (t *TxnTimer) Start(s Stage) {
+	now := time.Now()
+	if t.running {
+		t.stages[t.current] += now.Sub(t.started)
+	}
+	t.current = s
+	t.started = now
+	t.running = true
+}
+
+// Stop ends the running stage.
+func (t *TxnTimer) Stop() {
+	if t.running {
+		t.stages[t.current] += time.Since(t.started)
+		t.running = false
+	}
+}
+
+// Stage returns the accumulated duration of one stage.
+func (t *TxnTimer) Stage(s Stage) time.Duration { return t.stages[s] }
+
+// Total returns the sum of all stages.
+func (t *TxnTimer) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.stages {
+		sum += d
+	}
+	return sum
+}
+
+// Collector aggregates transaction outcomes across concurrent clients.
+type Collector struct {
+	mu          sync.Mutex
+	start       time.Time
+	collecting  bool
+	committed   int64
+	aborted     int64
+	readOnly    int64
+	updates     int64
+	stageTotals [numStages]time.Duration
+	respTimes   durationHist
+	syncDelays  durationHist
+}
+
+// NewCollector returns a collector that starts recording immediately.
+// Call Reset at the end of a warm-up phase to begin a clean
+// measurement interval.
+func NewCollector() *Collector {
+	return &Collector{start: time.Now(), collecting: true}
+}
+
+// Reset discards warm-up data and starts the measurement interval.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.start = time.Now()
+	c.collecting = true
+	c.committed, c.aborted, c.readOnly, c.updates = 0, 0, 0, 0
+	c.stageTotals = [numStages]time.Duration{}
+	c.respTimes = durationHist{}
+	c.syncDelays = durationHist{}
+}
+
+// RecordCommit records one committed transaction with its timer.
+// response is the client-observed wall time (stages plus network and
+// queueing); syncDelay is the consistency synchronization delay: the
+// version stage for the lazy modes, the global stage for eager.
+func (c *Collector) RecordCommit(t *TxnTimer, update bool, response, syncDelay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.collecting {
+		return
+	}
+	c.committed++
+	if update {
+		c.updates++
+	} else {
+		c.readOnly++
+	}
+	for i := Stage(0); i < numStages; i++ {
+		c.stageTotals[i] += t.stages[i]
+	}
+	c.respTimes.add(response)
+	c.syncDelays.add(syncDelay)
+}
+
+// RecordAbort records one aborted transaction.
+func (c *Collector) RecordAbort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.collecting {
+		return
+	}
+	c.aborted++
+}
+
+// Snapshot is a point-in-time summary of the measurement interval.
+type Snapshot struct {
+	Elapsed      time.Duration
+	Committed    int64
+	Aborted      int64
+	ReadOnly     int64
+	Updates      int64
+	TPS          float64
+	MeanResponse time.Duration
+	P95Response  time.Duration
+	MeanSync     time.Duration
+	// StageMeans averages each stage over all committed transactions;
+	// stages that only occur on update transactions (certify, sync,
+	// global) are averaged over the whole mix, matching the paper's
+	// per-mix breakdown in Figure 4.
+	StageMeans map[Stage]time.Duration
+}
+
+// Snapshot summarizes and (optionally) ends the measurement interval.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := time.Since(c.start)
+	s := Snapshot{
+		Elapsed:    elapsed,
+		Committed:  c.committed,
+		Aborted:    c.aborted,
+		ReadOnly:   c.readOnly,
+		Updates:    c.updates,
+		StageMeans: make(map[Stage]time.Duration, int(numStages)),
+	}
+	if elapsed > 0 {
+		s.TPS = float64(c.committed) / elapsed.Seconds()
+	}
+	if c.committed > 0 {
+		for i := Stage(0); i < numStages; i++ {
+			s.StageMeans[i] = c.stageTotals[i] / time.Duration(c.committed)
+		}
+		s.MeanResponse = c.respTimes.mean()
+		s.P95Response = c.respTimes.percentile(0.95)
+		s.MeanSync = c.syncDelays.mean()
+	}
+	return s
+}
+
+// AbortRate returns aborted / (aborted + committed).
+func (s Snapshot) AbortRate() float64 {
+	total := s.Aborted + s.Committed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborted) / float64(total)
+}
+
+// String renders a compact one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("tps=%.1f resp=%s p95=%s sync=%s commit=%d abort=%d",
+		s.TPS, s.MeanResponse.Round(time.Microsecond), s.P95Response.Round(time.Microsecond),
+		s.MeanSync.Round(time.Microsecond), s.Committed, s.Aborted)
+}
+
+// BreakdownRow renders the Figure-4 style stage breakdown.
+func (s Snapshot) BreakdownRow() string {
+	var b strings.Builder
+	for i, st := range Stages {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s=%s", st, s.StageMeans[st].Round(10*time.Microsecond))
+	}
+	return b.String()
+}
+
+// durationHist keeps raw samples (bounded) for mean and percentiles.
+type durationHist struct {
+	sum     time.Duration
+	n       int64
+	samples []time.Duration
+}
+
+// maxSamples bounds memory; beyond it we keep every k-th sample, which
+// is adequate for the p95 of a stationary interval.
+const maxSamples = 65536
+
+func (h *durationHist) add(d time.Duration) {
+	h.sum += d
+	h.n++
+	if len(h.samples) < maxSamples {
+		h.samples = append(h.samples, d)
+	} else if h.n%16 == 0 {
+		h.samples[int(h.n/16)%maxSamples] = d
+	}
+}
+
+func (h *durationHist) mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+func (h *durationHist) percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageStrings(t *testing.T) {
+	want := []string{"Version", "Queries", "Certify", "Sync", "Commit", "Global"}
+	for i, st := range Stages {
+		if st.String() != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, st.String(), want[i])
+		}
+	}
+}
+
+func TestTxnTimerAccumulates(t *testing.T) {
+	tm := NewTxnTimer()
+	tm.Start(StageVersion)
+	time.Sleep(10 * time.Millisecond)
+	tm.Start(StageQueries) // implicitly ends Version
+	time.Sleep(10 * time.Millisecond)
+	tm.Stop()
+	if tm.Stage(StageVersion) < 5*time.Millisecond {
+		t.Fatalf("version stage = %v", tm.Stage(StageVersion))
+	}
+	if tm.Stage(StageQueries) < 5*time.Millisecond {
+		t.Fatalf("queries stage = %v", tm.Stage(StageQueries))
+	}
+	if tm.Stage(StageGlobal) != 0 {
+		t.Fatalf("untouched stage = %v", tm.Stage(StageGlobal))
+	}
+	total := tm.Total()
+	if total != tm.Stage(StageVersion)+tm.Stage(StageQueries) {
+		t.Fatalf("total %v != sum of stages", total)
+	}
+	// Stop is idempotent.
+	before := tm.Total()
+	tm.Stop()
+	if tm.Total() != before {
+		t.Fatal("double Stop changed totals")
+	}
+}
+
+func TestTimerReenterStage(t *testing.T) {
+	tm := NewTxnTimer()
+	tm.Start(StageSync)
+	time.Sleep(5 * time.Millisecond)
+	tm.Start(StageCommit)
+	time.Sleep(1 * time.Millisecond)
+	tm.Start(StageSync) // revisit
+	time.Sleep(5 * time.Millisecond)
+	tm.Stop()
+	if tm.Stage(StageSync) < 8*time.Millisecond {
+		t.Fatalf("revisited stage did not accumulate: %v", tm.Stage(StageSync))
+	}
+}
+
+func TestCollectorFlow(t *testing.T) {
+	c := NewCollector()
+	tm := NewTxnTimer()
+	tm.Start(StageQueries)
+	time.Sleep(time.Millisecond)
+	tm.Stop()
+	c.RecordCommit(tm, true, 10*time.Millisecond, 2*time.Millisecond)
+	c.RecordCommit(tm, false, 20*time.Millisecond, 0)
+	c.RecordAbort()
+
+	s := c.Snapshot()
+	if s.Committed != 2 || s.Updates != 1 || s.ReadOnly != 1 || s.Aborted != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.MeanResponse != 15*time.Millisecond {
+		t.Fatalf("mean response = %v", s.MeanResponse)
+	}
+	if s.MeanSync != time.Millisecond {
+		t.Fatalf("mean sync = %v", s.MeanSync)
+	}
+	if got := s.AbortRate(); got < 0.3 || got > 0.4 {
+		t.Fatalf("abort rate = %v", got)
+	}
+	if s.TPS <= 0 {
+		t.Fatalf("tps = %v", s.TPS)
+	}
+	if !strings.Contains(s.String(), "tps=") {
+		t.Fatalf("String = %q", s.String())
+	}
+	if !strings.Contains(s.BreakdownRow(), "Queries=") {
+		t.Fatalf("BreakdownRow = %q", s.BreakdownRow())
+	}
+}
+
+func TestResetDropsWarmup(t *testing.T) {
+	c := NewCollector()
+	tm := NewTxnTimer()
+	c.RecordCommit(tm, true, time.Millisecond, 0)
+	c.Reset()
+	s := c.Snapshot()
+	if s.Committed != 0 {
+		t.Fatalf("warm-up data survived Reset: %+v", s)
+	}
+	c.RecordCommit(tm, true, time.Millisecond, 0)
+	if c.Snapshot().Committed != 1 {
+		t.Fatal("post-Reset commit not recorded")
+	}
+}
+
+func TestEmptySnapshotSafe(t *testing.T) {
+	c := NewCollector()
+	s := c.Snapshot()
+	if s.MeanResponse != 0 || s.P95Response != 0 || s.AbortRate() != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	c := NewCollector()
+	tm := NewTxnTimer()
+	for i := 1; i <= 100; i++ {
+		c.RecordCommit(tm, false, time.Duration(i)*time.Millisecond, 0)
+	}
+	s := c.Snapshot()
+	if s.P95Response < 90*time.Millisecond || s.P95Response > 100*time.Millisecond {
+		t.Fatalf("p95 = %v", s.P95Response)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tm := NewTxnTimer()
+			for i := 0; i < 200; i++ {
+				c.RecordCommit(tm, i%2 == 0, time.Millisecond, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().Committed; got != 1600 {
+		t.Fatalf("committed = %d, want 1600", got)
+	}
+}

@@ -1,0 +1,676 @@
+// Package replica implements one database replica: the proxy of §IV
+// plus its embedded DBMS (the storage engine). The proxy
+//
+//   - delays transaction start until the replica reaches the version
+//     the consistency mode demands (synchronization start delay);
+//   - executes SQL statements against the local snapshot;
+//   - performs early certification: an update statement that conflicts
+//     with a pending (received but not yet applied) refresh writeset
+//     aborts immediately, and an arriving refresh aborts conflicting
+//     active local transactions — the hidden-deadlock prevention of
+//     §IV applied to a multiversion engine, where it avoids certainly-
+//     futile certification round trips;
+//   - routes update commits through the certifier and commits local
+//     and refresh transactions in the certifier's global order;
+//   - applies refresh writesets sequentially through a reorder buffer
+//     (the certifier may deliver out of version order);
+//   - supports crash (detach, keep durable state) and recovery
+//     (reattach, catch up from the certifier's history).
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/latency"
+	"sconrep/internal/metrics"
+	"sconrep/internal/sql"
+	"sconrep/internal/storage"
+	"sconrep/internal/writeset"
+)
+
+// Errors surfaced to clients.
+var (
+	// ErrCertifyConflict is a certification abort: the transaction's
+	// writeset conflicted with a concurrently committed transaction.
+	ErrCertifyConflict = errors.New("replica: certification conflict, transaction aborted")
+	// ErrEarlyAbort is an early-certification abort: the transaction
+	// wrote a record that a pending refresh writeset also writes.
+	ErrEarlyAbort = errors.New("replica: aborted by early certification against pending refresh")
+	// ErrCrashed is returned while the replica is crashed.
+	ErrCrashed = errors.New("replica: crashed")
+	// ErrTxnDone is returned for operations on a finished transaction.
+	ErrTxnDone = errors.New("replica: transaction finished")
+)
+
+// CertService is the certifier as seen by a replica: local
+// (certifier.Certifier via Local) or remote (wire.CertClient).
+type CertService interface {
+	// Certify submits an update transaction's writeset for
+	// certification.
+	Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error)
+	// Subscribe attaches the replica to the refresh stream.
+	Subscribe(replicaID int) RefreshSource
+	// Unsubscribe detaches it (crash).
+	Unsubscribe(replicaID int)
+	// Applied acknowledges that the replica applied version v.
+	Applied(replicaID int, v uint64)
+	// GlobalCommitted returns a channel closed when every replica has
+	// applied v (eager mode).
+	GlobalCommitted(v uint64) <-chan struct{}
+	// History returns refreshes with versions greater than after, for
+	// recovery catch-up.
+	History(after uint64) []certifier.Refresh
+}
+
+// RefreshSource is one replica's view of its refresh stream.
+type RefreshSource interface {
+	// Take blocks for the next batch; ok is false once detached.
+	Take() ([]certifier.Refresh, bool)
+	// Pending peeks at queued refreshes (early certification).
+	Pending() []certifier.Refresh
+	// QueueLen returns the number of queued refreshes.
+	QueueLen() int
+}
+
+// localCert adapts *certifier.Certifier to CertService (the Subscribe
+// return type differs).
+type localCert struct{ c *certifier.Certifier }
+
+func (l localCert) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error) {
+	return l.c.Certify(origin, txnID, snapshot, ws)
+}
+func (l localCert) Subscribe(id int) RefreshSource           { return l.c.Subscribe(id) }
+func (l localCert) Unsubscribe(id int)                       { l.c.Unsubscribe(id) }
+func (l localCert) Applied(id int, v uint64)                 { l.c.Applied(id, v) }
+func (l localCert) GlobalCommitted(v uint64) <-chan struct{} { return l.c.GlobalCommitted(v) }
+func (l localCert) History(after uint64) []certifier.Refresh { return l.c.History(after) }
+
+// Local wraps an in-process certifier as a CertService.
+func Local(c *certifier.Certifier) CertService { return localCert{c} }
+
+// Config holds replica construction parameters.
+type Config struct {
+	ID int
+	// EarlyCert enables early certification (on by default in the
+	// paper's prototype; the ablation bench turns it off).
+	EarlyCert bool
+	// Latency is the simulated cost source for this replica. Nil means
+	// no injected delays.
+	Latency *latency.Source
+	// DBSlots is the embedded DBMS's execution concurrency: statement
+	// execution, local commits, and refresh application contend for
+	// these slots, exactly as they contend for the standalone DBMS's
+	// resources in the paper's testbed (dual-core servers → default 2).
+	// The contention is what makes busy replicas lag — the effect the
+	// eager mode's slowest-replica wait amplifies and the lazy modes'
+	// least-loaded routing sidesteps.
+	DBSlots int
+}
+
+// Replica is one proxy + DBMS pair.
+type Replica struct {
+	cfg  Config
+	eng  *storage.Engine
+	cert CertService
+	lat  *latency.Source
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sub     RefreshSource
+	reorder map[uint64]certifier.Refresh
+	// committing marks versions owned by in-flight local commits so
+	// the applier does not wait for a refresh that will never arrive.
+	committing map[uint64]bool
+	actives    map[uint64]*Txn
+	crashed    bool
+	applierGen int
+
+	slots chan struct{}
+
+	nextTxnID atomic.Uint64
+	active    atomic.Int64
+	// appliedRefreshes counts refresh transactions committed, for
+	// observability and tests.
+	appliedRefreshes atomic.Int64
+}
+
+// New creates a replica around an existing engine (already loaded with
+// the initial database) and attaches it to the certification service.
+func New(cfg Config, eng *storage.Engine, cert CertService) *Replica {
+	if cfg.DBSlots <= 0 {
+		cfg.DBSlots = 2
+	}
+	r := &Replica{
+		cfg:        cfg,
+		eng:        eng,
+		cert:       cert,
+		lat:        cfg.Latency,
+		reorder:    make(map[uint64]certifier.Refresh),
+		committing: make(map[uint64]bool),
+		actives:    make(map[uint64]*Txn),
+		slots:      make(chan struct{}, cfg.DBSlots),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.attach()
+	return r
+}
+
+// withSlot runs fn holding one DBMS execution slot. Callers must not
+// hold r.mu.
+func (r *Replica) withSlot(fn func()) {
+	r.slots <- struct{}{}
+	fn()
+	<-r.slots
+}
+
+// ID returns the replica's identifier.
+func (r *Replica) ID() int { return r.cfg.ID }
+
+// Engine exposes the embedded storage engine (tests, data loading).
+func (r *Replica) Engine() *storage.Engine { return r.eng }
+
+// Version returns the replica's Vlocal.
+func (r *Replica) Version() uint64 { return r.eng.Version() }
+
+// Active returns the number of in-flight client transactions — the
+// load balancer's routing signal.
+func (r *Replica) Active() int { return int(r.active.Load()) }
+
+// AppliedRefreshes returns how many refresh transactions this replica
+// has committed.
+func (r *Replica) AppliedRefreshes() int64 { return r.appliedRefreshes.Load() }
+
+// attach subscribes to the certifier and starts the refresh applier.
+// Caller must not hold r.mu.
+func (r *Replica) attach() {
+	r.mu.Lock()
+	r.sub = r.cert.Subscribe(r.cfg.ID)
+	r.crashed = false
+	r.applierGen++
+	gen := r.applierGen
+	sub := r.sub
+	r.mu.Unlock()
+	go r.applier(sub, gen)
+	go r.drainer(gen)
+}
+
+// applier receives refresh batches from the certifier, performs the
+// refresh side of early certification, stores them in the reorder
+// buffer, and wakes the drainer. Reception is deliberately cheap: the
+// paper's proxy queues refresh writesets as they arrive and applies
+// them sequentially in the background.
+func (r *Replica) applier(sub RefreshSource, gen int) {
+	for {
+		batch, ok := sub.Take()
+		if !ok {
+			return
+		}
+		r.mu.Lock()
+		if r.applierGen != gen {
+			r.mu.Unlock()
+			return
+		}
+		for _, ref := range batch {
+			if ref.Version > r.eng.Version() {
+				r.reorder[ref.Version] = ref
+			}
+			if r.cfg.EarlyCert {
+				r.abortConflictingActivesLocked(ref.WS)
+			}
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// drainer sequentially applies queued refresh transactions in
+// certifier order — the proxy's refresh handler. It competes for DBMS
+// slots with client statements, so a replica busy serving queries
+// falls behind, exactly like the paper's standalone DBMS.
+func (r *Replica) drainer(gen int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.crashed || r.applierGen != gen {
+			return
+		}
+		if !r.applyReadyLocked() {
+			r.cond.Wait()
+		}
+	}
+}
+
+// abortConflictingActivesLocked marks active local update transactions
+// whose partial writesets conflict with an incoming refresh.
+func (r *Replica) abortConflictingActivesLocked(ws *writeset.WriteSet) {
+	for _, tx := range r.actives {
+		if tx.partial != nil && !tx.killed && tx.partial.ConflictsWith(ws) {
+			tx.killed = true
+		}
+	}
+}
+
+// applyReadyLocked applies reorder-buffer entries contiguous with
+// Vlocal and reports whether it applied anything. It temporarily
+// releases r.mu around the (slow) apply itself so statements on other
+// transactions proceed concurrently; the entry is removed from the
+// buffer under the lock, so concurrent callers never double-apply.
+func (r *Replica) applyReadyLocked() bool {
+	progress := false
+	for {
+		next := r.eng.Version() + 1
+		if r.committing[next] {
+			return progress // a local commit owns this version
+		}
+		ref, ok := r.reorder[next]
+		if !ok {
+			return progress
+		}
+		delete(r.reorder, next)
+		r.mu.Unlock()
+		var err error
+		r.withSlot(func() {
+			if r.lat != nil {
+				r.lat.ApplyWriteSet()
+			}
+			err = r.eng.ApplyWriteSet(ref.WS, ref.Version)
+		})
+		r.mu.Lock()
+		if err != nil {
+			// Ordering is enforced by construction; an apply failure
+			// here means state divergence, which must be loud.
+			panic(fmt.Sprintf("replica %d: refresh apply at %d: %v", r.cfg.ID, ref.Version, err))
+		}
+		progress = true
+		r.appliedRefreshes.Add(1)
+		// The commit notification to the certifier (eager accounting,
+		// §IV-D) travels one network hop and must not stall the
+		// drainer.
+		go func(v uint64) {
+			if r.lat != nil {
+				r.lat.NetworkHop()
+			}
+			r.cert.Applied(r.cfg.ID, v)
+		}(ref.Version)
+		r.cond.Broadcast()
+	}
+}
+
+// WaitVersion blocks until Vlocal ≥ v (the synchronization start
+// delay) or the replica crashes.
+func (r *Replica) WaitVersion(v uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.eng.Version() < v {
+		if r.crashed {
+			return ErrCrashed
+		}
+		r.cond.Wait()
+	}
+	return nil
+}
+
+// Txn is one client transaction executing on this replica.
+type Txn struct {
+	r       *Replica
+	id      uint64
+	stx     *storage.Txn
+	timer   *metrics.TxnTimer
+	killed  bool // set by early certification
+	done    bool
+	partial *writeset.WriteSet // updated after each write statement
+	// touched accumulates the table-sets of executed statements — the
+	// transaction's observed read set, reported to the history checker.
+	touched map[string]bool
+}
+
+// Begin starts a client transaction once the replica has reached
+// minVersion. The timer's Version stage covers the wait.
+func (r *Replica) Begin(minVersion uint64, timer *metrics.TxnTimer) (*Txn, error) {
+	if timer != nil {
+		timer.Start(metrics.StageVersion)
+	}
+	if err := r.WaitVersion(minVersion); err != nil {
+		return nil, err
+	}
+	tx := &Txn{
+		r:       r,
+		id:      r.nextTxnID.Add(1),
+		timer:   timer,
+		touched: make(map[string]bool),
+	}
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	tx.stx = r.eng.Begin()
+	r.actives[tx.id] = tx
+	r.mu.Unlock()
+	r.active.Add(1)
+	if timer != nil {
+		timer.Start(metrics.StageQueries)
+	}
+	return tx, nil
+}
+
+// Snapshot returns the version this transaction reads.
+func (t *Txn) Snapshot() uint64 { return t.stx.Snapshot() }
+
+// Touched returns the tables accessed by executed statements so far
+// (reads and writes).
+func (t *Txn) Touched() []string {
+	out := make([]string, 0, len(t.touched))
+	for tab := range t.touched {
+		out = append(out, tab)
+	}
+	return out
+}
+
+// checkAlive returns the error state of the transaction, if any.
+func (t *Txn) checkAlive() error {
+	t.r.mu.Lock()
+	defer t.r.mu.Unlock()
+	switch {
+	case t.done:
+		return ErrTxnDone
+	case t.killed:
+		return ErrEarlyAbort
+	case t.r.crashed:
+		return ErrCrashed
+	default:
+		return nil
+	}
+}
+
+// Exec runs one prepared statement. Early certification runs after
+// write statements.
+func (t *Txn) Exec(p *sql.Prepared, params ...any) (*sql.Result, error) {
+	if err := t.checkAlive(); err != nil {
+		return nil, err
+	}
+	var res *sql.Result
+	var err error
+	t.r.withSlot(func() {
+		if t.r.lat != nil {
+			t.r.lat.Statement()
+		}
+		res, err = p.Exec(t.stx, t.r.eng, params...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, tab := range p.TableSet {
+		t.touched[tab] = true
+	}
+	if !p.ReadOnly {
+		if err := t.afterWrite(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecSQL parses and runs one ad-hoc statement.
+func (t *Txn) ExecSQL(src string, params ...any) (*sql.Result, error) {
+	if err := t.checkAlive(); err != nil {
+		return nil, err
+	}
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var res *sql.Result
+	t.r.withSlot(func() {
+		if t.r.lat != nil {
+			t.r.lat.Statement()
+		}
+		res, err = sql.ExecStmt(t.stx, t.r.eng, stmt, params...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, tab := range sql.Tables(stmt) {
+		t.touched[tab] = true
+	}
+	if !sql.IsReadOnly(stmt) {
+		if err := t.afterWrite(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// afterWrite refreshes the partial writeset and, when enabled, checks
+// it against pending refreshes (statement-side early certification).
+// "Pending" covers both refreshes still queued in the certifier
+// mailbox and those sitting in the reorder buffer awaiting their turn.
+func (t *Txn) afterWrite() error {
+	ws := t.stx.WriteSet()
+	r := t.r
+	r.mu.Lock()
+	t.partial = ws
+	killed := t.killed
+	var sub RefreshSource
+	if r.cfg.EarlyCert && !killed {
+		for _, ref := range r.reorder {
+			if ref.WS.ConflictsWith(ws) {
+				killed = true
+				t.killed = true
+				break
+			}
+		}
+		sub = r.sub
+	}
+	r.mu.Unlock()
+	if killed {
+		t.abortInternal()
+		return ErrEarlyAbort
+	}
+	if sub == nil {
+		return nil
+	}
+	for _, pending := range sub.Pending() {
+		if pending.WS.ConflictsWith(ws) {
+			t.abortInternal()
+			return ErrEarlyAbort
+		}
+	}
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	t.abortInternal()
+}
+
+func (t *Txn) abortInternal() {
+	t.r.mu.Lock()
+	if t.done {
+		t.r.mu.Unlock()
+		return
+	}
+	t.done = true
+	delete(t.r.actives, t.id)
+	t.r.mu.Unlock()
+	t.stx.Abort()
+	t.r.active.Add(-1)
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// CommitResult describes a successful commit.
+type CommitResult struct {
+	// Version is the commit version for updates, or the snapshot
+	// version for read-only transactions (what the client observed).
+	Version uint64
+	// ReadOnly reports whether the transaction was read-only.
+	ReadOnly bool
+	// WrittenTables lists the tables in the writeset (empty for
+	// read-only) — the load balancer updates Vt from these.
+	WrittenTables []string
+}
+
+// Commit finishes the transaction. Read-only transactions commit
+// locally and immediately; update transactions are certified, then
+// committed at their assigned version in global order, and — under
+// eager — held until every replica has applied them.
+func (t *Txn) Commit(eager bool) (CommitResult, error) {
+	if err := t.checkAlive(); err != nil {
+		if errors.Is(err, ErrEarlyAbort) {
+			t.abortInternal()
+		}
+		return CommitResult{}, err
+	}
+	ws := t.stx.WriteSet()
+	if ws.Empty() {
+		// Read-only: local commit, no certification (§IV).
+		if t.timer != nil {
+			t.timer.Start(metrics.StageCommit)
+		}
+		t.r.withSlot(func() {
+			if t.r.lat != nil {
+				t.r.lat.LocalCommit()
+			}
+		})
+		snap := t.stx.Snapshot()
+		t.abortInternal() // releases the storage txn; nothing to apply
+		return CommitResult{Version: snap, ReadOnly: true}, nil
+	}
+
+	// Certification round trip.
+	if t.timer != nil {
+		t.timer.Start(metrics.StageCertify)
+	}
+	if t.r.lat != nil {
+		t.r.lat.RoundTrip()
+	}
+	dec, err := t.r.cert.Certify(t.r.cfg.ID, t.id, t.stx.Snapshot(), ws)
+	if err != nil {
+		t.abortInternal()
+		return CommitResult{}, err
+	}
+	if !dec.Commit {
+		t.abortInternal()
+		return CommitResult{}, ErrCertifyConflict
+	}
+
+	// Claim our version slot so the applier will not wait for a
+	// refresh at dec.Version, then wait for all predecessors.
+	if t.timer != nil {
+		t.timer.Start(metrics.StageSync)
+	}
+	r := t.r
+	r.mu.Lock()
+	r.committing[dec.Version] = true
+	r.cond.Broadcast() // let the drainer re-evaluate its stop condition
+	for r.eng.Version() < dec.Version-1 && !r.crashed {
+		r.cond.Wait()
+	}
+	if r.crashed {
+		delete(r.committing, dec.Version)
+		r.mu.Unlock()
+		t.abortInternal()
+		return CommitResult{}, ErrCrashed
+	}
+	r.mu.Unlock()
+
+	// Local commit at the assigned version.
+	if t.timer != nil {
+		t.timer.Start(metrics.StageCommit)
+	}
+	var commitErr error
+	r.withSlot(func() {
+		if r.lat != nil {
+			r.lat.LocalCommit()
+		}
+		commitErr = r.eng.ApplyWriteSet(ws, dec.Version)
+	})
+	if commitErr != nil {
+		// The slot was claimed and predecessors applied; failure here
+		// is a protocol bug, not a runtime condition.
+		panic(fmt.Sprintf("replica %d: local commit at %d: %v", r.cfg.ID, dec.Version, commitErr))
+	}
+	r.mu.Lock()
+	delete(r.committing, dec.Version)
+	// Wake the drainer: refreshes may have queued up behind our slot.
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	// Eager strong consistency: hold the acknowledgment until every
+	// replica has applied the writeset (global commit delay). The
+	// certifier collects per-replica commit notifications and then
+	// notifies the origin — one more round trip on top of the slowest
+	// replica's apply (§IV-D).
+	if eager {
+		if t.timer != nil {
+			t.timer.Start(metrics.StageGlobal)
+		}
+		<-r.cert.GlobalCommitted(dec.Version)
+		if r.lat != nil {
+			r.lat.RoundTrip()
+		}
+	}
+
+	res := CommitResult{Version: dec.Version, WrittenTables: ws.Tables()}
+	t.abortInternal() // storage txn state is no longer needed
+	return res, nil
+}
+
+// Crash detaches the replica: the applier stops, active transactions
+// fail, and no new transactions start. Durable state (the engine) is
+// retained, matching the crash-recovery failure model.
+func (r *Replica) Crash() {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return
+	}
+	r.crashed = true
+	r.applierGen++ // invalidate the running applier
+	for _, tx := range r.actives {
+		tx.killed = true
+	}
+	r.reorder = make(map[uint64]certifier.Refresh)
+	r.committing = make(map[uint64]bool)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.cert.Unsubscribe(r.cfg.ID)
+}
+
+// Recover reattaches a crashed replica: it resubscribes, replays the
+// certifier history it missed, and resumes applying new refreshes.
+func (r *Replica) Recover() error {
+	r.mu.Lock()
+	if !r.crashed {
+		r.mu.Unlock()
+		return errors.New("replica: Recover on a live replica")
+	}
+	r.mu.Unlock()
+
+	// Subscribe first so no refresh is missed, then backfill from
+	// history; the reorder buffer deduplicates overlap by version.
+	r.attach()
+	missed := r.cert.History(r.eng.Version())
+	r.mu.Lock()
+	for _, ref := range missed {
+		if ref.Version > r.eng.Version() {
+			r.reorder[ref.Version] = ref
+		}
+	}
+	r.applyReadyLocked()
+	r.mu.Unlock()
+	return nil
+}
+
+// Crashed reports whether the replica is currently detached.
+func (r *Replica) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}

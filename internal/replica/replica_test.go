@@ -1,0 +1,511 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/metrics"
+	"sconrep/internal/sql"
+	"sconrep/internal/storage"
+)
+
+// rig is a certifier plus n replicas sharing an identically loaded
+// key/value schema.
+type rig struct {
+	cert     *certifier.Certifier
+	replicas []*Replica
+}
+
+func newRig(t *testing.T, n int, earlyCert bool) *rig {
+	t.Helper()
+	cert := certifier.New()
+	r := &rig{cert: cert}
+	for i := 0; i < n; i++ {
+		eng := storage.NewEngine()
+		loadKV(t, eng)
+		r.replicas = append(r.replicas, New(Config{ID: i, EarlyCert: earlyCert}, eng, Local(cert)))
+	}
+	if err := cert.StartAt(r.replicas[0].Version()); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func loadKV(t *testing.T, eng *storage.Engine) {
+	t.Helper()
+	err := eng.CreateTable(&storage.Schema{
+		Table:   "kv",
+		Columns: []storage.Column{{Name: "k", Type: storage.TInt}, {Name: "v", Type: storage.TString}},
+		Key:     []string{"k"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := eng.Begin()
+	for k := int64(0); k < 10; k++ {
+		if err := tx.Insert("kv", []any{k, "init"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx.CommitLocal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) close() {
+	for _, rep := range r.replicas {
+		rep.Crash()
+	}
+}
+
+var (
+	getStmt, _ = sql.Prepare(`SELECT v FROM kv WHERE k = ?`)
+	setStmt, _ = sql.Prepare(`UPDATE kv SET v = ? WHERE k = ?`)
+)
+
+// commitUpdate runs one update transaction on replica r.
+func commitUpdate(t *testing.T, r *Replica, k int64, v string) CommitResult {
+	t.Helper()
+	tx, err := r.Begin(0, metrics.NewTxnTimer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(setStmt, v, k); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Commit(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// readKV reads key k at the replica's current state.
+func readKV(t *testing.T, r *Replica, k int64) string {
+	t.Helper()
+	tx, err := r.Begin(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	res, err := tx.Exec(getStmt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("key %d: %d rows", k, len(res.Rows))
+	}
+	return res.Rows[0][0].(string)
+}
+
+// waitVersion fails the test if the replica does not reach v quickly.
+func waitVersion(t *testing.T, r *Replica, v uint64) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- r.WaitVersion(v) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("replica %d stuck below version %d (at %d)", r.ID(), v, r.Version())
+	}
+}
+
+func TestUpdatePropagatesToAllReplicas(t *testing.T) {
+	rg := newRig(t, 3, true)
+	defer rg.close()
+	res := commitUpdate(t, rg.replicas[0], 1, "hello")
+	if res.ReadOnly || len(res.WrittenTables) != 1 || res.WrittenTables[0] != "kv" {
+		t.Fatalf("commit result = %+v", res)
+	}
+	for _, r := range rg.replicas {
+		waitVersion(t, r, res.Version)
+		if got := readKV(t, r, 1); got != "hello" {
+			t.Fatalf("replica %d: kv[1] = %q", r.ID(), got)
+		}
+	}
+	if rg.replicas[1].AppliedRefreshes() != 1 {
+		t.Fatalf("replica 1 applied %d refreshes, want 1", rg.replicas[1].AppliedRefreshes())
+	}
+}
+
+func TestReadOnlyCommitsLocally(t *testing.T) {
+	rg := newRig(t, 2, true)
+	defer rg.close()
+	certV := rg.cert.Version()
+	tx, err := rg.replicas[0].Begin(0, metrics.NewTxnTimer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(getStmt, int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Commit(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReadOnly {
+		t.Fatal("read-only txn not detected")
+	}
+	if rg.cert.Version() != certV {
+		t.Fatal("read-only commit reached the certifier")
+	}
+}
+
+func TestCertificationConflictAborts(t *testing.T) {
+	rg := newRig(t, 2, false)
+	defer rg.close()
+	t0, err := rg.replicas[0].Begin(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := rg.replicas[1].Begin(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t0.Exec(setStmt, "a", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Exec(setStmt, "b", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t0.Commit(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Commit(false); !errors.Is(err, ErrCertifyConflict) {
+		t.Fatalf("second committer err = %v, want ErrCertifyConflict", err)
+	}
+	// The system state must reflect only the winner, everywhere.
+	for _, r := range rg.replicas {
+		waitVersion(t, r, rg.cert.Version())
+		if got := readKV(t, r, 5); got != "a" {
+			t.Fatalf("replica %d: kv[5] = %q, want a", r.ID(), got)
+		}
+	}
+}
+
+func TestDisjointWritesBothCommit(t *testing.T) {
+	rg := newRig(t, 2, false)
+	defer rg.close()
+	t0, _ := rg.replicas[0].Begin(0, nil)
+	t1, _ := rg.replicas[1].Begin(0, nil)
+	if _, err := t0.Exec(setStmt, "a", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Exec(setStmt, "b", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	r0, err := t0.Commit(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := t1.Commit(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Version == r1.Version {
+		t.Fatal("distinct commits share a version")
+	}
+	for _, r := range rg.replicas {
+		waitVersion(t, r, rg.cert.Version())
+		if readKV(t, r, 1) != "a" || readKV(t, r, 2) != "b" {
+			t.Fatalf("replica %d diverged", r.ID())
+		}
+	}
+}
+
+func TestBeginWaitsForMinVersion(t *testing.T) {
+	rg := newRig(t, 2, true)
+	defer rg.close()
+	res := commitUpdate(t, rg.replicas[0], 3, "new")
+
+	// Replica 1 must reach res.Version before the txn starts; the read
+	// must therefore see the update.
+	timer := metrics.NewTxnTimer()
+	tx, err := rg.replicas[1].Begin(res.Version, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	if tx.Snapshot() < res.Version {
+		t.Fatalf("snapshot %d below required %d", tx.Snapshot(), res.Version)
+	}
+	r, err := tx.Exec(getStmt, int64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].(string) != "new" {
+		t.Fatalf("read %q after version wait", r.Rows[0][0])
+	}
+}
+
+func TestEarlyCertificationStatementSide(t *testing.T) {
+	rg := newRig(t, 2, true)
+	defer rg.close()
+
+	// Open a txn on replica 1, then let a conflicting refresh arrive
+	// before the txn's write statement.
+	tx, err := rg.replicas[1].Begin(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitUpdate(t, rg.replicas[0], 7, "winner")
+	waitVersion(t, rg.replicas[1], rg.cert.Version())
+
+	// The write statement conflicts with the (already applied) refresh;
+	// applied refreshes no longer trigger early certification, but the
+	// certifier will abort at commit. Either abort path is acceptable;
+	// what is not acceptable is a successful commit.
+	if _, err := tx.Exec(setStmt, "loser", int64(7)); err != nil {
+		if !errors.Is(err, ErrEarlyAbort) {
+			t.Fatalf("exec err = %v", err)
+		}
+		return
+	}
+	if _, err := tx.Commit(false); err == nil {
+		t.Fatal("conflicting transaction committed")
+	}
+}
+
+func TestEarlyCertificationRefreshSideKillsActive(t *testing.T) {
+	rg := newRig(t, 2, true)
+	defer rg.close()
+
+	// Txn on replica 1 writes key 8 (partial writeset registered).
+	tx, err := rg.replicas[1].Begin(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(setStmt, "local", int64(8)); err != nil {
+		t.Fatal(err)
+	}
+	// A conflicting update commits elsewhere; its refresh should kill
+	// the active transaction.
+	commitUpdate(t, rg.replicas[0], 8, "remote")
+	waitVersion(t, rg.replicas[1], rg.cert.Version())
+
+	// The kill is detected on the next operation or commit.
+	_, execErr := tx.Exec(getStmt, int64(8))
+	if execErr == nil {
+		if _, err := tx.Commit(false); err == nil {
+			t.Fatal("killed transaction committed")
+		}
+		return
+	}
+	if !errors.Is(execErr, ErrEarlyAbort) {
+		t.Fatalf("err = %v, want ErrEarlyAbort", execErr)
+	}
+}
+
+func TestEarlyCertDisabledStillAbortsAtCertifier(t *testing.T) {
+	rg := newRig(t, 2, false)
+	defer rg.close()
+	tx, _ := rg.replicas[1].Begin(0, nil)
+	if _, err := tx.Exec(setStmt, "local", int64(8)); err != nil {
+		t.Fatal(err)
+	}
+	commitUpdate(t, rg.replicas[0], 8, "remote")
+	waitVersion(t, rg.replicas[1], rg.cert.Version())
+	if _, err := tx.Exec(getStmt, int64(8)); err != nil {
+		t.Fatalf("early cert disabled but exec aborted: %v", err)
+	}
+	if _, err := tx.Commit(false); !errors.Is(err, ErrCertifyConflict) {
+		t.Fatalf("err = %v, want ErrCertifyConflict", err)
+	}
+}
+
+func TestCommitOrderMatchesCertifier(t *testing.T) {
+	// Many concurrent writers on distinct keys across two replicas:
+	// every replica must converge to identical content.
+	rg := newRig(t, 3, true)
+	defer rg.close()
+	var wg sync.WaitGroup
+	const writers = 4
+	const perWriter = 25
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rg.replicas[w%len(rg.replicas)]
+			for i := 0; i < perWriter; i++ {
+				k := int64(w*perWriter+i) % 10
+				tx, err := r.Begin(0, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tx.Exec(setStmt, fmt.Sprintf("w%d-%d", w, i), k); err != nil {
+					tx.Abort()
+					continue // early certification may abort; fine
+				}
+				if _, err := tx.Commit(false); err != nil {
+					continue // certification conflicts are expected
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	final := rg.cert.Version()
+	for _, r := range rg.replicas {
+		waitVersion(t, r, final)
+	}
+	// All replicas identical.
+	base := rg.replicas[0].Engine()
+	btx := base.Begin()
+	want, _ := btx.ScanAll("kv")
+	for _, r := range rg.replicas[1:] {
+		rtx := r.Engine().Begin()
+		got, _ := rtx.ScanAll("kv")
+		if len(got) != len(want) {
+			t.Fatalf("replica %d row count %d != %d", r.ID(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Row[1] != want[i].Row[1] {
+				t.Fatalf("replica %d diverged at %q: %v vs %v", r.ID(), want[i].Key, got[i].Row, want[i].Row)
+			}
+		}
+	}
+}
+
+func TestEagerCommitWaitsForAllReplicas(t *testing.T) {
+	cert := certifier.New(certifier.WithEager())
+	rg := &rig{cert: cert}
+	for i := 0; i < 3; i++ {
+		eng := storage.NewEngine()
+		loadKV(t, eng)
+		rg.replicas = append(rg.replicas, New(Config{ID: i, EarlyCert: true}, eng, Local(cert)))
+	}
+	if err := cert.StartAt(rg.replicas[0].Version()); err != nil {
+		t.Fatal(err)
+	}
+	defer rg.close()
+
+	tx, _ := rg.replicas[0].Begin(0, metrics.NewTxnTimer())
+	if _, err := tx.Exec(setStmt, "eager", int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Commit(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defining property: at ack time, EVERY replica has the commit.
+	for _, r := range rg.replicas {
+		if r.Version() < res.Version {
+			t.Fatalf("eager ack before replica %d applied (at %d, want %d)", r.ID(), r.Version(), res.Version)
+		}
+	}
+}
+
+func TestCrashRecoveryCatchUp(t *testing.T) {
+	rg := newRig(t, 3, true)
+	defer rg.close()
+
+	commitUpdate(t, rg.replicas[0], 1, "before")
+	for _, r := range rg.replicas {
+		waitVersion(t, r, rg.cert.Version())
+	}
+	rg.replicas[2].Crash()
+	if !rg.replicas[2].Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	// Progress while replica 2 is down.
+	for i := 0; i < 5; i++ {
+		commitUpdate(t, rg.replicas[i%2], int64(i), fmt.Sprintf("during-%d", i))
+	}
+	// Transactions on the crashed replica fail.
+	if _, err := rg.replicas[2].Begin(0, nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Begin on crashed replica: %v", err)
+	}
+
+	if err := rg.replicas[2].Recover(); err != nil {
+		t.Fatal(err)
+	}
+	waitVersion(t, rg.replicas[2], rg.cert.Version())
+	for k := int64(0); k < 5; k++ {
+		want := readKV(t, rg.replicas[0], k)
+		if got := readKV(t, rg.replicas[2], k); got != want {
+			t.Fatalf("after recovery kv[%d] = %q, want %q", k, got, want)
+		}
+	}
+	// And it continues to receive new refreshes.
+	res := commitUpdate(t, rg.replicas[0], 9, "after")
+	waitVersion(t, rg.replicas[2], res.Version)
+	if got := readKV(t, rg.replicas[2], 9); got != "after" {
+		t.Fatalf("post-recovery refresh lost: %q", got)
+	}
+}
+
+func TestCrashKillsActiveTxns(t *testing.T) {
+	rg := newRig(t, 2, true)
+	defer rg.close()
+	tx, err := rg.replicas[0].Begin(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.replicas[0].Crash()
+	if _, err := tx.Exec(getStmt, int64(1)); err == nil {
+		t.Fatal("exec succeeded on crashed replica")
+	}
+}
+
+func TestRecoverOnLiveReplicaFails(t *testing.T) {
+	rg := newRig(t, 1, true)
+	defer rg.close()
+	if err := rg.replicas[0].Recover(); err == nil {
+		t.Fatal("Recover on live replica succeeded")
+	}
+}
+
+func TestTimerStages(t *testing.T) {
+	rg := newRig(t, 2, true)
+	defer rg.close()
+	timer := metrics.NewTxnTimer()
+	tx, err := rg.replicas[0].Begin(0, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(setStmt, "x", int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(false); err != nil {
+		t.Fatal(err)
+	}
+	// Queries, certify, and commit stages must have been entered.
+	if timer.Stage(metrics.StageQueries) <= 0 {
+		t.Error("queries stage empty")
+	}
+	if timer.Stage(metrics.StageCommit) <= 0 {
+		t.Error("commit stage empty")
+	}
+	if timer.Stage(metrics.StageGlobal) != 0 {
+		t.Error("global stage nonzero for lazy commit")
+	}
+}
+
+func TestActiveCount(t *testing.T) {
+	rg := newRig(t, 1, true)
+	defer rg.close()
+	r := rg.replicas[0]
+	if r.Active() != 0 {
+		t.Fatalf("initial active = %d", r.Active())
+	}
+	tx, _ := r.Begin(0, nil)
+	if r.Active() != 1 {
+		t.Fatalf("active = %d, want 1", r.Active())
+	}
+	tx.Abort()
+	if r.Active() != 0 {
+		t.Fatalf("active after abort = %d", r.Active())
+	}
+	// Double abort must not underflow.
+	tx.Abort()
+	if r.Active() != 0 {
+		t.Fatalf("active after double abort = %d", r.Active())
+	}
+}

@@ -1,0 +1,142 @@
+package sql
+
+import "sconrep/internal/storage"
+
+// Expr is a SQL expression node.
+type Expr interface{ isExpr() }
+
+// Lit is a literal value: int64, float64, string, bool, or nil.
+type Lit struct{ Val any }
+
+// Col references a column, optionally qualified by a table name or
+// alias ("t.col").
+type Col struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+// Placeholder is a positional ? parameter (0-based).
+type Placeholder struct{ Index int }
+
+// BinOp applies a binary operator.
+type BinOp struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "AND", "OR", "LIKE"
+	L, R Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// IsNull tests an expression against NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool // IS NOT NULL
+}
+
+// Between is "x BETWEEN lo AND hi" (inclusive).
+type Between struct {
+	E      Expr
+	Lo, Hi Expr
+}
+
+// Agg is an aggregate function application.
+type Agg struct {
+	Func     string // "COUNT", "SUM", "AVG", "MIN", "MAX"
+	Star     bool   // COUNT(*)
+	Distinct bool
+	Arg      Expr
+}
+
+func (*Lit) isExpr()         {}
+func (*Col) isExpr()         {}
+func (*Placeholder) isExpr() {}
+func (*BinOp) isExpr()       {}
+func (*Not) isExpr()         {}
+func (*IsNull) isExpr()      {}
+func (*Between) isExpr()     {}
+func (*Agg) isExpr()         {}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // bare *
+}
+
+// TableRef is one table in the FROM clause.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// Join is one INNER JOIN clause: JOIN Right ON LeftCol = RightCol.
+type Join struct {
+	Right TableRef
+	On    *BinOp // must be Col = Col after parsing
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []Join
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	OrderBy []OrderKey
+	Limit   int // -1 when absent
+	Offset  int // 0 when absent
+}
+
+// Insert is an INSERT statement. Each row in Rows has one expression
+// per column in Columns (or per table column when Columns is empty).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause assigns an expression to a column.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Schema *storage.Schema
+}
+
+// CreateIndex is a CREATE INDEX statement.
+type CreateIndex struct {
+	Table string
+	Def   storage.IndexDef
+}
+
+// Stmt is any parsed statement.
+type Stmt interface{ isStmt() }
+
+func (*Select) isStmt()      {}
+func (*Insert) isStmt()      {}
+func (*Update) isStmt()      {}
+func (*Delete) isStmt()      {}
+func (*CreateTable) isStmt() {}
+func (*CreateIndex) isStmt() {}

@@ -1,0 +1,784 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"sconrep/internal/storage"
+)
+
+// Result is the outcome of executing a statement. SELECTs populate
+// Columns and Rows; INSERT/UPDATE/DELETE populate Affected.
+type Result struct {
+	Columns  []string
+	Rows     [][]any
+	Affected int
+}
+
+// Exec parses and executes a statement inside tx.
+func Exec(tx *storage.Txn, e *storage.Engine, src string, params ...any) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStmt(tx, e, stmt, params...)
+}
+
+// ExecStmt executes a parsed statement inside tx. DDL statements go
+// directly to the engine and are not transactional.
+func ExecStmt(tx *storage.Txn, e *storage.Engine, stmt Stmt, params ...any) (*Result, error) {
+	norm := make([]any, len(params))
+	for i, p := range params {
+		v, err := normalizeParam(p)
+		if err != nil {
+			return nil, err
+		}
+		norm[i] = v
+	}
+	switch s := stmt.(type) {
+	case *Select:
+		return execSelect(tx, e, s, norm)
+	case *Insert:
+		return execInsert(tx, e, s, norm)
+	case *Update:
+		return execUpdate(tx, e, s, norm)
+	case *Delete:
+		return execDelete(tx, e, s, norm)
+	case *CreateTable:
+		return &Result{}, e.CreateTable(s.Schema)
+	case *CreateIndex:
+		return &Result{}, e.CreateIndex(s.Table, s.Def)
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+// joinedRows produces the joined relation for a SELECT: the base-table
+// rows (filtered by the best access path) extended through each JOIN.
+func joinedRows(tx *storage.Txn, e *storage.Engine, s *Select, params []any) ([]boundTable, [][]any, error) {
+	baseSchema, ok := e.Schema(s.From.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", storage.ErrNoTable, s.From.Table)
+	}
+	tables := []boundTable{{alias: s.From.Alias, schema: baseSchema}}
+
+	path := choosePath(baseSchema, s.From.Alias, s.Where, params)
+	kvs, err := fetch(tx, s.From.Table, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([][]any, len(kvs))
+	for i, kv := range kvs {
+		rows[i] = kv.Row
+	}
+
+	for _, j := range s.Joins {
+		rightSchema, ok := e.Schema(j.Right.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %s", storage.ErrNoTable, j.Right.Table)
+		}
+		// Decide which side of ON binds to the tables joined so far.
+		leftCol, rightCol, err := orientJoin(j, tables, rightSchema)
+		if err != nil {
+			return nil, nil, err
+		}
+		leftResolver := newEnvResolver(tables)
+		leftEnv := &env{cols: leftResolver, params: params}
+		rci := rightSchema.ColIndex(rightCol.Name)
+		if rci < 0 {
+			return nil, nil, fmt.Errorf("sql: unknown join column %s.%s", j.Right.Alias, rightCol.Name)
+		}
+
+		// Pick the right-side strategy: point lookups when the join
+		// column is the whole primary key, index lookups when indexed,
+		// hash join otherwise.
+		var probe func(val any) ([][]any, error)
+		switch {
+		case len(rightSchema.Key) == 1 && rightSchema.Key[0] == rightCol.Name:
+			probe = func(val any) ([][]any, error) {
+				cv, err := coerceValue(val, rightSchema.Columns[rci].Type)
+				if err != nil {
+					return nil, nil
+				}
+				row, ok, err := tx.Get(j.Right.Table, storage.EncodeKey(cv))
+				if err != nil || !ok {
+					return nil, err
+				}
+				return [][]any{row}, nil
+			}
+		case indexOn(rightSchema, rightCol.Name) != "":
+			ixName := indexOn(rightSchema, rightCol.Name)
+			probe = func(val any) ([][]any, error) {
+				cv, err := coerceValue(val, rightSchema.Columns[rci].Type)
+				if err != nil {
+					return nil, nil
+				}
+				kvs, err := tx.ScanIndexEq(j.Right.Table, ixName, cv)
+				if err != nil {
+					return nil, err
+				}
+				out := make([][]any, len(kvs))
+				for i, kv := range kvs {
+					out[i] = kv.Row
+				}
+				return out, nil
+			}
+		default:
+			// Hash join: build once over a full scan.
+			build := make(map[string][][]any)
+			all, err := tx.ScanAll(j.Right.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, kv := range all {
+				if kv.Row[rci] == nil {
+					continue
+				}
+				hk := storage.EncodeKey(kv.Row[rci])
+				build[hk] = append(build[hk], kv.Row)
+			}
+			probe = func(val any) ([][]any, error) {
+				cv, err := coerceValue(val, rightSchema.Columns[rci].Type)
+				if err != nil {
+					return nil, nil
+				}
+				return build[storage.EncodeKey(cv)], nil
+			}
+		}
+
+		var joined [][]any
+		for _, lrow := range rows {
+			leftEnv.row = lrow
+			val, err := eval(leftCol, leftEnv)
+			if err != nil {
+				return nil, nil, err
+			}
+			if val == nil {
+				continue
+			}
+			matches, err := probe(val)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, rrow := range matches {
+				combined := make([]any, 0, len(lrow)+len(rrow))
+				combined = append(combined, lrow...)
+				combined = append(combined, rrow...)
+				joined = append(joined, combined)
+			}
+		}
+		rows = joined
+		tables = append(tables, boundTable{alias: j.Right.Alias, schema: rightSchema})
+	}
+	return tables, rows, nil
+}
+
+// orientJoin decides which Col of the ON clause references the
+// already-joined tables (left) and which references the new table.
+func orientJoin(j Join, left []boundTable, rightSchema *storage.Schema) (*Col, *Col, error) {
+	a := j.On.L.(*Col)
+	b := j.On.R.(*Col)
+	belongsRight := func(c *Col) bool {
+		if c.Table != "" {
+			return c.Table == j.Right.Alias
+		}
+		return rightSchema.ColIndex(c.Name) >= 0 && !belongsLeftName(c.Name, left)
+	}
+	switch {
+	case belongsRight(b) && !belongsRight(a):
+		return a, b, nil
+	case belongsRight(a) && !belongsRight(b):
+		return b, a, nil
+	default:
+		return nil, nil, fmt.Errorf("sql: cannot orient join condition %s = %s", exprString(a), exprString(b))
+	}
+}
+
+func belongsLeftName(name string, left []boundTable) bool {
+	for _, bt := range left {
+		if bt.schema.ColIndex(name) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOn(s *storage.Schema, col string) string {
+	for _, def := range s.Indexes {
+		if def.Column == col {
+			return def.Name
+		}
+	}
+	return ""
+}
+
+func execSelect(tx *storage.Txn, e *storage.Engine, s *Select, params []any) (*Result, error) {
+	tables, rows, err := joinedRows(tx, e, s, params)
+	if err != nil {
+		return nil, err
+	}
+	resolver := newEnvResolver(tables)
+	ev := &env{cols: resolver, params: params}
+
+	// Residual filter (the access path is conservative).
+	if s.Where != nil {
+		filtered := rows[:0]
+		for _, r := range rows {
+			ev.row = r
+			v, err := eval(s.Where, ev)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.(bool); ok && b {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	// Expand * into column references now that tables are bound.
+	items, err := expandStars(s.Items, tables)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Columns: make([]string, len(items))}
+	for i, it := range items {
+		if it.Alias != "" {
+			res.Columns[i] = it.Alias
+		} else {
+			res.Columns[i] = exprString(it.Expr)
+		}
+	}
+
+	aggregated := len(s.GroupBy) > 0 || hasAggregate(items)
+	var orderRows [][]any // rows the ORDER BY keys are evaluated on
+	if aggregated {
+		res.Rows, orderRows, err = execAggregate(s, items, rows, ev)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res.Rows = make([][]any, 0, len(rows))
+		orderRows = rows
+		for _, r := range rows {
+			ev.row = r
+			out := make([]any, len(items))
+			for i, it := range items {
+				out[i], err = eval(it.Expr, ev)
+				if err != nil {
+					return nil, err
+				}
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+
+	if len(s.OrderBy) > 0 {
+		if err := sortRows(s, items, res, orderRows, ev, aggregated); err != nil {
+			return nil, err
+		}
+	}
+	if s.Offset > 0 {
+		if s.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && len(res.Rows) > s.Limit {
+		res.Rows = res.Rows[:s.Limit]
+	}
+	return res, nil
+}
+
+func expandStars(items []SelectItem, tables []boundTable) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, bt := range tables {
+			for _, c := range bt.schema.Columns {
+				out = append(out, SelectItem{Expr: &Col{Table: bt.alias, Name: c.Name}})
+			}
+		}
+	}
+	return out, nil
+}
+
+func hasAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if containsAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *Agg:
+		return true
+	case *BinOp:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case *Not:
+		return containsAgg(x.E)
+	case *IsNull:
+		return containsAgg(x.E)
+	case *Between:
+		return containsAgg(x.E) || containsAgg(x.Lo) || containsAgg(x.Hi)
+	}
+	return false
+}
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	sawFloat bool
+	min, max any
+	distinct map[string]bool
+}
+
+func (a *aggState) add(v any) {
+	if v == nil {
+		return
+	}
+	if a.distinct != nil {
+		k := storage.EncodeKey(v)
+		if a.distinct[k] {
+			return
+		}
+		a.distinct[k] = true
+	}
+	a.count++
+	switch n := v.(type) {
+	case int64:
+		a.sumI += n
+		a.sumF += float64(n)
+	case float64:
+		a.sawFloat = true
+		a.sumF += n
+	}
+	if a.min == nil || storage.CompareValues(v, a.min) < 0 {
+		a.min = v
+	}
+	if a.max == nil || storage.CompareValues(v, a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result(fn string) any {
+	switch fn {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if a.count == 0 {
+			return nil
+		}
+		if a.sawFloat {
+			return a.sumF
+		}
+		return a.sumI
+	case "AVG":
+		if a.count == 0 {
+			return nil
+		}
+		return a.sumF / float64(a.count)
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	}
+	return nil
+}
+
+// group holds per-group state during aggregation.
+type group struct {
+	firstRow []any // representative joined row, for grouping exprs
+	aggs     map[int]*aggState
+}
+
+// execAggregate evaluates grouped (or globally aggregated) output rows.
+// It returns the result rows and, aligned with them, the rows ORDER BY
+// keys should be evaluated against (the result rows themselves).
+func execAggregate(s *Select, items []SelectItem, rows [][]any, ev *env) ([][]any, [][]any, error) {
+	groups := map[string]*group{}
+	var orderKeys []string
+
+	for _, r := range rows {
+		ev.row = r
+		keyVals := make([]any, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			v, err := eval(g, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+		}
+		gk := storage.EncodeKey(keyVals...)
+		grp, ok := groups[gk]
+		if !ok {
+			grp = &group{firstRow: r, aggs: map[int]*aggState{}}
+			groups[gk] = grp
+			orderKeys = append(orderKeys, gk)
+		}
+		// Accumulate every aggregate that appears in the select list.
+		for i, it := range items {
+			if err := accumulate(it.Expr, i*1000, grp, ev); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Empty input with no GROUP BY still yields one (empty) group.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		groups[""] = &group{aggs: map[int]*aggState{}}
+		orderKeys = append(orderKeys, "")
+	}
+
+	var out [][]any
+	for _, gk := range orderKeys {
+		grp := groups[gk]
+		ev.row = grp.firstRow
+		row := make([]any, len(items))
+		for i, it := range items {
+			v, err := evalWithAggs(it.Expr, i*1000, grp, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	return out, out, nil
+}
+
+// accumulate walks an expression and feeds each aggregate node. Nodes
+// are keyed by a base id plus traversal position so the same Agg node
+// maps to the same state on every row.
+func accumulate(e Expr, id int, grp *group, ev *env) error {
+	switch x := e.(type) {
+	case *Agg:
+		st, ok := grp.aggs[id]
+		if !ok {
+			st = &aggState{}
+			if x.Distinct {
+				st.distinct = map[string]bool{}
+			}
+			grp.aggs[id] = st
+		}
+		if x.Star {
+			st.count++
+			return nil
+		}
+		v, err := eval(x.Arg, ev)
+		if err != nil {
+			return err
+		}
+		st.add(v)
+		return nil
+	case *BinOp:
+		if err := accumulate(x.L, id*2+1, grp, ev); err != nil {
+			return err
+		}
+		return accumulate(x.R, id*2+2, grp, ev)
+	case *Not:
+		return accumulate(x.E, id*2+1, grp, ev)
+	}
+	return nil
+}
+
+// evalWithAggs evaluates an expression, substituting aggregate nodes
+// with their accumulated results.
+func evalWithAggs(e Expr, id int, grp *group, ev *env) (any, error) {
+	switch x := e.(type) {
+	case *Agg:
+		st, ok := grp.aggs[id]
+		if !ok {
+			if x.Star || x.Func == "COUNT" {
+				return int64(0), nil
+			}
+			return nil, nil
+		}
+		return st.result(x.Func), nil
+	case *BinOp:
+		if !containsAgg(x) {
+			return eval(x, ev)
+		}
+		l, err := evalWithAggs(x.L, id*2+1, grp, ev)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalWithAggs(x.R, id*2+2, grp, ev)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinOp(&BinOp{Op: x.Op, L: &Lit{Val: l}, R: &Lit{Val: r}}, ev)
+	default:
+		return eval(e, ev)
+	}
+}
+
+// sortRows applies ORDER BY. In plain mode keys are computed from the
+// joined rows; in aggregated mode from the output rows, with aggregate
+// expressions matched positionally against select items.
+func sortRows(s *Select, items []SelectItem, res *Result, orderRows [][]any, ev *env, aggregated bool) error {
+	type keyed struct {
+		out  []any
+		keys []any
+	}
+	ks := make([]keyed, len(res.Rows))
+	for i := range res.Rows {
+		keys := make([]any, len(s.OrderBy))
+		for ki, ob := range s.OrderBy {
+			var v any
+			var err error
+			if aggregated {
+				v, err = orderKeyAggregated(ob.Expr, items, res.Rows[i], ev)
+			} else {
+				ev.row = orderRows[i]
+				v, err = eval(ob.Expr, ev)
+			}
+			if err != nil {
+				return err
+			}
+			keys[ki] = v
+		}
+		ks[i] = keyed{out: res.Rows[i], keys: keys}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for ki, ob := range s.OrderBy {
+			c := storage.CompareValues(ks[a].keys[ki], ks[b].keys[ki])
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range ks {
+		res.Rows[i] = ks[i].out
+	}
+	return nil
+}
+
+// orderKeyAggregated resolves an ORDER BY expression against the
+// aggregated output: aliases and textually identical select items map
+// to their output column.
+func orderKeyAggregated(e Expr, items []SelectItem, outRow []any, ev *env) (any, error) {
+	want := exprString(e)
+	for i, it := range items {
+		if it.Alias != "" {
+			if c, ok := e.(*Col); ok && c.Table == "" && c.Name == it.Alias {
+				return outRow[i], nil
+			}
+		}
+		if exprString(it.Expr) == want {
+			return outRow[i], nil
+		}
+	}
+	// Fall back to a plain evaluation (grouping column not projected).
+	return eval(e, ev)
+}
+
+func execInsert(tx *storage.Txn, e *storage.Engine, s *Insert, params []any) (*Result, error) {
+	schema, ok := e.Schema(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", storage.ErrNoTable, s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = make([]string, len(schema.Columns))
+		for i, c := range schema.Columns {
+			cols[i] = c.Name
+		}
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := schema.ColIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %s", s.Table, c)
+		}
+		colIdx[i] = ci
+	}
+	ev := &env{params: params}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("sql: INSERT row has %d values, want %d", len(exprRow), len(cols))
+		}
+		row := make([]any, schema.NumColumns())
+		for i, ex := range exprRow {
+			v, err := eval(ex, ev)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceValue(v, schema.Columns[colIdx[i]].Type)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[i]] = cv
+		}
+		if err := tx.Insert(s.Table, row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// matchingKVs returns rows of a single table matching WHERE, for
+// UPDATE and DELETE.
+func matchingKVs(tx *storage.Txn, e *storage.Engine, table string, where Expr, params []any) ([]storage.KV, *storage.Schema, error) {
+	schema, ok := e.Schema(table)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", storage.ErrNoTable, table)
+	}
+	path := choosePath(schema, table, where, params)
+	kvs, err := fetch(tx, table, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if where == nil {
+		return kvs, schema, nil
+	}
+	resolver := newEnvResolver([]boundTable{{alias: table, schema: schema}})
+	ev := &env{cols: resolver, params: params}
+	out := kvs[:0]
+	for _, kv := range kvs {
+		ev.row = kv.Row
+		v, err := eval(where, ev)
+		if err != nil {
+			return nil, nil, err
+		}
+		if b, ok := v.(bool); ok && b {
+			out = append(out, kv)
+		}
+	}
+	return out, schema, nil
+}
+
+func execUpdate(tx *storage.Txn, e *storage.Engine, s *Update, params []any) (*Result, error) {
+	kvs, schema, err := matchingKVs(tx, e, s.Table, s.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	setIdx := make([]int, len(s.Set))
+	for i, sc := range s.Set {
+		ci := schema.ColIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %s", s.Table, sc.Column)
+		}
+		setIdx[i] = ci
+	}
+	resolver := newEnvResolver([]boundTable{{alias: s.Table, schema: schema}})
+	ev := &env{cols: resolver, params: params}
+	for _, kv := range kvs {
+		ev.row = kv.Row
+		newRow := append([]any(nil), kv.Row...)
+		for i, sc := range s.Set {
+			v, err := eval(sc.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceValue(v, schema.Columns[setIdx[i]].Type)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setIdx[i]] = cv
+		}
+		if err := tx.Update(s.Table, kv.Key, newRow); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(kvs)}, nil
+}
+
+func execDelete(tx *storage.Txn, e *storage.Engine, s *Delete, params []any) (*Result, error) {
+	kvs, _, err := matchingKVs(tx, e, s.Table, s.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	for _, kv := range kvs {
+		if err := tx.Delete(s.Table, kv.Key); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(kvs)}, nil
+}
+
+// Tables returns the set of tables a statement reads or writes — the
+// static table-set the fine-grained consistency technique synchronizes
+// on. DDL statements return their target table.
+func Tables(stmt Stmt) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(t string) {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	switch s := stmt.(type) {
+	case *Select:
+		add(s.From.Table)
+		for _, j := range s.Joins {
+			add(j.Right.Table)
+		}
+	case *Insert:
+		add(s.Table)
+	case *Update:
+		add(s.Table)
+	case *Delete:
+		add(s.Table)
+	case *CreateTable:
+		add(s.Schema.Table)
+	case *CreateIndex:
+		add(s.Table)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsReadOnly reports whether the statement cannot modify data.
+func IsReadOnly(stmt Stmt) bool {
+	_, ok := stmt.(*Select)
+	return ok
+}
+
+// Stmt preparation: a prepared statement caches the parse and exposes
+// the static table-set.
+
+// Prepared is a parsed statement ready for repeated execution with
+// different parameters.
+type Prepared struct {
+	SQL      string
+	Stmt     Stmt
+	TableSet []string
+	ReadOnly bool
+}
+
+// Prepare parses src once.
+func Prepare(src string) (*Prepared, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		SQL:      src,
+		Stmt:     stmt,
+		TableSet: Tables(stmt),
+		ReadOnly: IsReadOnly(stmt),
+	}, nil
+}
+
+// Exec runs the prepared statement in tx.
+func (p *Prepared) Exec(tx *storage.Txn, e *storage.Engine, params ...any) (*Result, error) {
+	return ExecStmt(tx, e, p.Stmt, params...)
+}

@@ -1,0 +1,369 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"sconrep/internal/storage"
+)
+
+// env is the runtime environment for expression evaluation: a joined
+// row with a name→offset resolver, plus statement parameters.
+type env struct {
+	cols   map[string]int // "alias.col" always; bare "col" when unambiguous
+	row    []any
+	params []any
+}
+
+// newEnvResolver builds the column resolver for a list of (alias,
+// schema) pairs laid out consecutively in the joined row.
+func newEnvResolver(tables []boundTable) map[string]int {
+	cols := make(map[string]int)
+	ambiguous := make(map[string]bool)
+	off := 0
+	for _, bt := range tables {
+		for i, c := range bt.schema.Columns {
+			qualified := bt.alias + "." + c.Name
+			cols[qualified] = off + i
+			if _, dup := cols[c.Name]; dup {
+				ambiguous[c.Name] = true
+			} else if !ambiguous[c.Name] {
+				cols[c.Name] = off + i
+			}
+		}
+		off += bt.schema.NumColumns()
+	}
+	for name := range ambiguous {
+		delete(cols, name)
+	}
+	return cols
+}
+
+type boundTable struct {
+	alias  string
+	schema *storage.Schema
+}
+
+// errUnknown distinguishes SQL three-valued UNKNOWN from errors; eval
+// returns (nil, nil) for NULL results, and predicates treat them as
+// not-true.
+
+func (ev *env) lookup(c *Col) (int, error) {
+	var key string
+	if c.Table != "" {
+		key = c.Table + "." + c.Name
+	} else {
+		key = c.Name
+	}
+	if off, ok := ev.cols[key]; ok {
+		return off, nil
+	}
+	return 0, fmt.Errorf("sql: unknown column %s", key)
+}
+
+// eval evaluates a non-aggregate expression. NULL propagates as nil.
+func eval(e Expr, ev *env) (any, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *Col:
+		off, err := ev.lookup(x)
+		if err != nil {
+			return nil, err
+		}
+		return ev.row[off], nil
+	case *Placeholder:
+		if x.Index >= len(ev.params) {
+			return nil, fmt.Errorf("sql: missing parameter %d (%d bound)", x.Index+1, len(ev.params))
+		}
+		return normalizeParam(ev.params[x.Index])
+	case *Not:
+		v, err := eval(x.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("sql: NOT applied to non-boolean %T", v)
+		}
+		return !b, nil
+	case *IsNull:
+		v, err := eval(x.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		return (v == nil) != x.Negate, nil
+	case *Between:
+		v, err := eval(x.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := eval(x.Lo, ev)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := eval(x.Hi, ev)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || lo == nil || hi == nil {
+			return nil, nil
+		}
+		return storage.CompareValues(v, lo) >= 0 && storage.CompareValues(v, hi) <= 0, nil
+	case *BinOp:
+		return evalBinOp(x, ev)
+	case *Agg:
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", x.Func)
+	}
+	return nil, fmt.Errorf("sql: cannot evaluate %T", e)
+}
+
+func evalBinOp(x *BinOp, ev *env) (any, error) {
+	// AND/OR implement three-valued logic with short circuits.
+	switch x.Op {
+	case "AND", "OR":
+		l, err := eval(x.L, ev)
+		if err != nil {
+			return nil, err
+		}
+		lb, lNull := toBool3(l)
+		if x.Op == "AND" && !lNull && !lb {
+			return false, nil
+		}
+		if x.Op == "OR" && !lNull && lb {
+			return true, nil
+		}
+		r, err := eval(x.R, ev)
+		if err != nil {
+			return nil, err
+		}
+		rb, rNull := toBool3(r)
+		switch x.Op {
+		case "AND":
+			if !rNull && !rb {
+				return false, nil
+			}
+			if lNull || rNull {
+				return nil, nil
+			}
+			return lb && rb, nil
+		default: // OR
+			if !rNull && rb {
+				return true, nil
+			}
+			if lNull || rNull {
+				return nil, nil
+			}
+			return lb || rb, nil
+		}
+	}
+
+	l, err := eval(x.L, ev)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eval(x.R, ev)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		cmp, err := safeCompare(l, r)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "=":
+			return cmp == 0, nil
+		case "<>":
+			return cmp != 0, nil
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		default:
+			return cmp >= 0, nil
+		}
+	case "LIKE":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		ls, ok1 := l.(string)
+		rs, ok2 := r.(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sql: LIKE requires strings, got %T and %T", l, r)
+		}
+		return likeMatch(ls, rs), nil
+	case "+", "-", "*", "/":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return arith(x.Op, l, r)
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", x.Op)
+}
+
+// toBool3 maps a value to (bool, isNull) for three-valued logic.
+// Non-boolean non-nil values are treated as an error upstream; here we
+// conservatively map them to NULL.
+func toBool3(v any) (bool, bool) {
+	if v == nil {
+		return false, true
+	}
+	if b, ok := v.(bool); ok {
+		return b, false
+	}
+	return false, true
+}
+
+func safeCompare(a, b any) (cmp int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sql: cannot compare %T with %T", a, b)
+		}
+	}()
+	return storage.CompareValues(a, b), nil
+}
+
+func arith(op string, l, r any) (any, error) {
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		default:
+			if ri == 0 {
+				return nil, fmt.Errorf("sql: division by zero")
+			}
+			return li / ri, nil
+		}
+	}
+	lf, err := toFloat(l)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := toFloat(r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	default:
+		if rf == 0 {
+			return nil, fmt.Errorf("sql: division by zero")
+		}
+		return lf / rf, nil
+	}
+}
+
+func toFloat(v any) (float64, error) {
+	switch t := v.(type) {
+	case int64:
+		return float64(t), nil
+	case float64:
+		return t, nil
+	default:
+		return 0, fmt.Errorf("sql: %T is not numeric", v)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single
+// character) wildcards, matching bytewise.
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming two-pointer match with backtracking on the
+	// last %.
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			starS++
+			si, pi = starS, starP+1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// normalizeParam widens Go integer parameter types to int64 and
+// validates the value is a supported SQL type.
+func normalizeParam(p any) (any, error) {
+	switch v := p.(type) {
+	case nil, int64, float64, string, bool:
+		return p, nil
+	case int:
+		return int64(v), nil
+	case int32:
+		return int64(v), nil
+	case uint32:
+		return int64(v), nil
+	case float32:
+		return float64(v), nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported parameter type %T", p)
+	}
+}
+
+// exprString renders an expression for column headers.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *Lit:
+		return storage.FormatValue(x.Val)
+	case *Col:
+		if x.Table != "" {
+			return x.Table + "." + x.Name
+		}
+		return x.Name
+	case *Placeholder:
+		return "?"
+	case *Not:
+		return "NOT " + exprString(x.E)
+	case *IsNull:
+		if x.Negate {
+			return exprString(x.E) + " IS NOT NULL"
+		}
+		return exprString(x.E) + " IS NULL"
+	case *Between:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", exprString(x.E), exprString(x.Lo), exprString(x.Hi))
+	case *BinOp:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.L), x.Op, exprString(x.R))
+	case *Agg:
+		if x.Star {
+			return "COUNT(*)"
+		}
+		d := ""
+		if x.Distinct {
+			d = "DISTINCT "
+		}
+		return fmt.Sprintf("%s(%s%s)", strings.ToUpper(x.Func), d, exprString(x.Arg))
+	}
+	return "?expr?"
+}

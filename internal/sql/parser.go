@@ -1,0 +1,756 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"sconrep/internal/storage"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks    []token
+	pos     int
+	nParams int
+}
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("sql: expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("sql: expected statement, got %s", t)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %s", t)
+	}
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	for {
+		if p.acceptSymbol("*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				name, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = name
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	for {
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		lcol, err := p.parseQualifiedCol()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		rcol, err := p.parseQualifiedCol()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, Join{Right: right, On: &BinOp{Op: "=", L: lcol, R: rcol}})
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseIntLit() (int, error) {
+	t := p.peek()
+	if t.kind != tokInt {
+		return 0, fmt.Errorf("sql: expected integer, got %s", t)
+	}
+	p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad integer %q: %w", t.text, err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Alias: name}
+	if t := p.peek(); t.kind == tokIdent {
+		p.next()
+		ref.Alias = t.text
+	} else if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	}
+	return ref, nil
+}
+
+func (p *parser) parseQualifiedCol() (*Col, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Col{Table: name, Name: col}, nil
+	}
+	return &Col{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var rowExprs []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rowExprs = append(rowExprs, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, rowExprs)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (*Update, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, SetClause{Column: col, Expr: e})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = w
+	}
+	return upd, nil
+}
+
+func (p *parser) parseDelete() (*Delete, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("TABLE") {
+		return p.parseCreateTable()
+	}
+	if p.acceptKeyword("INDEX") {
+		return p.parseCreateIndex()
+	}
+	return nil, fmt.Errorf("sql: expected TABLE or INDEX after CREATE, got %s", p.peek())
+}
+
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	schema := &storage.Schema{Table: table}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				schema.Key = append(schema.Key, col)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseColType()
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns = append(schema.Columns, storage.Column{Name: col, Type: typ})
+			// PRIMARY KEY may follow a column definition inline.
+			if p.acceptKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				schema.Key = append(schema.Key, col)
+			}
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Schema: schema}, nil
+}
+
+func (p *parser) parseColType() (storage.ColType, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return 0, fmt.Errorf("sql: expected column type, got %s", t)
+	}
+	p.next()
+	var typ storage.ColType
+	switch t.text {
+	case "INT", "BIGINT":
+		typ = storage.TInt
+	case "FLOAT", "DOUBLE":
+		typ = storage.TFloat
+	case "TEXT", "VARCHAR":
+		typ = storage.TString
+	case "BOOL", "BOOLEAN":
+		typ = storage.TBool
+	default:
+		return 0, fmt.Errorf("sql: unknown column type %s", t)
+	}
+	// Optional length suffix: VARCHAR(100).
+	if p.acceptSymbol("(") {
+		if _, err := p.parseIntLit(); err != nil {
+			return 0, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return 0, err
+		}
+	}
+	return typ, nil
+}
+
+func (p *parser) parseCreateIndex() (*CreateIndex, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Table: table, Def: storage.IndexDef{Name: name, Column: col}}, nil
+}
+
+// Expression grammar, loosest binding first:
+//
+//	expr   := orExpr
+//	orExpr := andExpr (OR andExpr)*
+//	andExpr:= notExpr (AND notExpr)*
+//	notExpr:= NOT notExpr | cmpExpr
+//	cmpExpr:= addExpr ((=|<>|!=|<|<=|>|>=|LIKE) addExpr
+//	          | IS [NOT] NULL | BETWEEN addExpr AND addExpr)?
+//	addExpr:= mulExpr ((+|-) mulExpr)*
+//	mulExpr:= unary ((*|/) unary)*
+//	unary  := - unary | primary
+//	primary:= literal | placeholder | aggregate | column | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.acceptKeyword("LIKE") {
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "LIKE", L: l, R: r}, nil
+	}
+	if p.acceptKeyword("IS") {
+		negate := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: l, Negate: negate}, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{E: l, Lo: lo, Hi: hi}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t := p.peek(); t.kind == tokSymbol && t.text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals.
+		if lit, ok := e.(*Lit); ok {
+			switch v := lit.Val.(type) {
+			case int64:
+				return &Lit{Val: -v}, nil
+			case float64:
+				return &Lit{Val: -v}, nil
+			}
+		}
+		return &BinOp{Op: "-", L: &Lit{Val: int64(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q: %w", t.text, err)
+		}
+		return &Lit{Val: n}, nil
+	case tokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad float %q: %w", t.text, err)
+		}
+		return &Lit{Val: f}, nil
+	case tokString:
+		p.next()
+		return &Lit{Val: t.text}, nil
+	case tokPlaceholder:
+		p.next()
+		ph := &Placeholder{Index: p.nParams}
+		p.nParams++
+		return ph, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Lit{Val: nil}, nil
+		case "TRUE":
+			p.next()
+			return &Lit{Val: true}, nil
+		case "FALSE":
+			p.next()
+			return &Lit{Val: false}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			agg := &Agg{Func: t.text}
+			if t.text == "COUNT" && p.acceptSymbol("*") {
+				agg.Star = true
+			} else {
+				agg.Distinct = p.acceptKeyword("DISTINCT")
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression", t)
+	case tokIdent:
+		return p.parseQualifiedCol()
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+}

@@ -1,0 +1,244 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustParse parses or fails the test.
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`SELECT a, 'it''s', 1.5, 2e3, -- comment
+		? FROM t WHERE x <= 10 AND y != 'z';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	joined := strings.Join(texts, "|")
+	for _, want := range []string{"SELECT", "a", "it's", "1.5", "2e3", "?", "FROM", "t", "WHERE", "<=", "10", "AND", "!=", "z", ";"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("token stream missing %q: %s", want, joined)
+		}
+	}
+	if texts[len(texts)-1] != "" || kinds[len(kinds)-1] != tokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a ! b", "a @ b"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseSelectShapes(t *testing.T) {
+	s := mustParse(t, `SELECT a, b AS bee, COUNT(*) FROM t1 x
+		JOIN t2 ON x.id = t2.ref
+		INNER JOIN t3 y ON t2.k = y.k
+		WHERE a > 1 AND b LIKE 'p%' OR NOT c
+		GROUP BY a, b
+		ORDER BY a DESC, bee
+		LIMIT 10 OFFSET 5`).(*Select)
+	if len(s.Items) != 3 || s.Items[1].Alias != "bee" {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	if s.From.Table != "t1" || s.From.Alias != "x" {
+		t.Fatalf("from = %+v", s.From)
+	}
+	if len(s.Joins) != 2 || s.Joins[1].Right.Alias != "y" {
+		t.Fatalf("joins = %+v", s.Joins)
+	}
+	if len(s.GroupBy) != 2 || len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("groupBy=%d orderBy=%+v", len(s.GroupBy), s.OrderBy)
+	}
+	if s.Limit != 10 || s.Offset != 5 {
+		t.Fatalf("limit/offset = %d/%d", s.Limit, s.Offset)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// a OR b AND c parses as a OR (b AND c).
+	s := mustParse(t, `SELECT * FROM t WHERE a OR b AND c`).(*Select)
+	or, ok := s.Where.(*BinOp)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top op = %+v", s.Where)
+	}
+	and, ok := or.R.(*BinOp)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right of OR = %+v", or.R)
+	}
+	// 1 + 2 * 3 parses as 1 + (2 * 3).
+	s = mustParse(t, `SELECT 1 + 2 * 3 FROM t`).(*Select)
+	add := s.Items[0].Expr.(*BinOp)
+	if add.Op != "+" {
+		t.Fatalf("top arith = %q", add.Op)
+	}
+	if mul := add.R.(*BinOp); mul.Op != "*" {
+		t.Fatalf("right of + = %q", mul.Op)
+	}
+	// Parentheses override.
+	s = mustParse(t, `SELECT (1 + 2) * 3 FROM t`).(*Select)
+	mul := s.Items[0].Expr.(*BinOp)
+	if mul.Op != "*" {
+		t.Fatalf("top with parens = %q", mul.Op)
+	}
+}
+
+func TestParsePlaceholderNumbering(t *testing.T) {
+	s := mustParse(t, `SELECT * FROM t WHERE a = ? AND b BETWEEN ? AND ?`).(*Select)
+	var idxs []int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Placeholder:
+			idxs = append(idxs, x.Index)
+		case *BinOp:
+			walk(x.L)
+			walk(x.R)
+		case *Between:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		}
+	}
+	walk(s.Where)
+	if len(idxs) != 3 || idxs[0] != 0 || idxs[1] != 1 || idxs[2] != 2 {
+		t.Fatalf("placeholder indexes = %v", idxs)
+	}
+}
+
+func TestParseInsertVariants(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO t VALUES (1, 'a'), (2, 'b')`).(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 0 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	ins = mustParse(t, `INSERT INTO t (x, y) VALUES (?, ?)`).(*Insert)
+	if len(ins.Columns) != 2 || ins.Columns[1] != "y" {
+		t.Fatalf("insert cols = %+v", ins.Columns)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	upd := mustParse(t, `UPDATE t SET a = a + 1, b = 'x' WHERE id = 3`).(*Update)
+	if len(upd.Set) != 2 || upd.Set[0].Column != "a" || upd.Where == nil {
+		t.Fatalf("update = %+v", upd)
+	}
+	del := mustParse(t, `DELETE FROM t`).(*Delete)
+	if del.Where != nil {
+		t.Fatalf("delete = %+v", del)
+	}
+}
+
+func TestParseCreateVariants(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE t (
+		id INT PRIMARY KEY,
+		name VARCHAR(40),
+		score DOUBLE,
+		ok BOOLEAN
+	)`).(*CreateTable)
+	if len(ct.Schema.Columns) != 4 || len(ct.Schema.Key) != 1 || ct.Schema.Key[0] != "id" {
+		t.Fatalf("schema = %+v", ct.Schema)
+	}
+	ct = mustParse(t, `CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))`).(*CreateTable)
+	if len(ct.Schema.Key) != 2 {
+		t.Fatalf("composite key = %+v", ct.Schema.Key)
+	}
+	ci := mustParse(t, `CREATE INDEX i ON t (col)`).(*CreateIndex)
+	if ci.Table != "t" || ci.Def.Column != "col" {
+		t.Fatalf("index = %+v", ci)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	s := mustParse(t, `SELECT NULL, TRUE, FALSE, -5, -2.5, 'quo''te' FROM t`).(*Select)
+	vals := make([]any, len(s.Items))
+	for i, it := range s.Items {
+		vals[i] = it.Expr.(*Lit).Val
+	}
+	if vals[0] != nil || vals[1] != true || vals[2] != false {
+		t.Fatalf("literals = %v", vals)
+	}
+	if vals[3].(int64) != -5 || vals[4].(float64) != -2.5 || vals[5].(string) != "quo'te" {
+		t.Fatalf("literals = %v", vals)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := mustParse(t, `SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), AVG(c), MIN(d), MAX(e) FROM t`).(*Select)
+	star := s.Items[0].Expr.(*Agg)
+	if !star.Star {
+		t.Fatal("COUNT(*) not star")
+	}
+	distinct := s.Items[1].Expr.(*Agg)
+	if !distinct.Distinct {
+		t.Fatal("DISTINCT lost")
+	}
+	for i, fn := range []string{"COUNT", "COUNT", "SUM", "AVG", "MIN", "MAX"} {
+		if got := s.Items[i].Expr.(*Agg).Func; got != fn {
+			t.Fatalf("item %d func = %s", i, got)
+		}
+	}
+}
+
+func TestParseIsNullAndBetween(t *testing.T) {
+	s := mustParse(t, `SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL AND c BETWEEN 1 AND 10`).(*Select)
+	conjs := splitConjuncts(s.Where, nil)
+	if len(conjs) != 3 {
+		t.Fatalf("conjuncts = %d", len(conjs))
+	}
+	isn := conjs[0].(*IsNull)
+	if isn.Negate {
+		t.Fatal("IS NULL negated")
+	}
+	isnn := conjs[1].(*IsNull)
+	if !isnn.Negate {
+		t.Fatal("IS NOT NULL not negated")
+	}
+	if _, ok := conjs[2].(*Between); !ok {
+		t.Fatalf("third conjunct = %T", conjs[2])
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	if _, err := Parse(`SELECT * FROM t garbage extra`); err == nil {
+		t.Fatal("trailing alias+garbage accepted")
+	}
+	// A single trailing semicolon is fine.
+	mustParse(t, `SELECT * FROM t;`)
+}
+
+func TestExprString(t *testing.T) {
+	s := mustParse(t, `SELECT a + 1, COUNT(DISTINCT b), x.c FROM t x WHERE a IS NULL`).(*Select)
+	if got := exprString(s.Items[0].Expr); got != "(a + 1)" {
+		t.Errorf("exprString = %q", got)
+	}
+	if got := exprString(s.Items[1].Expr); got != "COUNT(DISTINCT b)" {
+		t.Errorf("exprString = %q", got)
+	}
+	if got := exprString(s.Items[2].Expr); got != "x.c" {
+		t.Errorf("exprString = %q", got)
+	}
+	if got := exprString(s.Where); got != "a IS NULL" {
+		t.Errorf("exprString = %q", got)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	mustParse(t, `select a from t where b = 1 order by a limit 1`)
+	mustParse(t, `SeLeCt a FrOm t`)
+}

@@ -1,0 +1,332 @@
+package sql
+
+import (
+	"fmt"
+
+	"sconrep/internal/storage"
+)
+
+// This file chooses access paths for base-table scans. The planner is
+// deliberately simple: it recognizes sargable conjuncts of the form
+// <column> <op> <constant> and picks, in order of preference,
+//
+//  1. a primary-key point lookup (equality on every key column),
+//  2. a primary-key range scan (equality/range on a key prefix),
+//  3. a secondary-index equality lookup,
+//  4. a full scan.
+//
+// Bounds are conservative (they may admit extra rows); the executor
+// always re-applies the full predicate, so the planner affects cost,
+// never correctness.
+
+// accessPath describes how to fetch the candidate rows of one table.
+type accessPath struct {
+	kind      pathKind
+	pointKey  string // kindPoint
+	lo, hi    string // kindRange; "" = unbounded
+	indexName string // kindIndexEq
+	indexVal  any    // kindIndexEq
+}
+
+type pathKind uint8
+
+const (
+	kindFull pathKind = iota
+	kindPoint
+	kindRange
+	kindIndexEq
+)
+
+func (k pathKind) String() string {
+	switch k {
+	case kindFull:
+		return "full-scan"
+	case kindPoint:
+		return "pk-point"
+	case kindRange:
+		return "pk-range"
+	case kindIndexEq:
+		return "index-eq"
+	default:
+		return "?"
+	}
+}
+
+// conjunct is a sargable condition extracted from the WHERE clause.
+type conjunct struct {
+	col string // unqualified column name on the target table
+	op  string // "=", "<", "<=", ">", ">="
+	val any    // evaluated constant
+}
+
+// splitConjuncts flattens a WHERE tree into AND-ed conjuncts.
+func splitConjuncts(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		out = splitConjuncts(b.L, out)
+		return splitConjuncts(b.R, out)
+	}
+	return append(out, e)
+}
+
+// constValue evaluates an expression that must not reference columns:
+// literals, placeholders, and arithmetic over them.
+func constValue(e Expr, params []any) (any, bool) {
+	switch e.(type) {
+	case *Col, *Agg:
+		return nil, false
+	}
+	// Reject anything containing a column reference.
+	if refsColumns(e) {
+		return nil, false
+	}
+	v, err := eval(e, &env{params: params})
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func refsColumns(e Expr) bool {
+	switch x := e.(type) {
+	case *Col:
+		return true
+	case *Lit, *Placeholder, nil:
+		return false
+	case *Not:
+		return refsColumns(x.E)
+	case *IsNull:
+		return refsColumns(x.E)
+	case *Between:
+		return refsColumns(x.E) || refsColumns(x.Lo) || refsColumns(x.Hi)
+	case *BinOp:
+		return refsColumns(x.L) || refsColumns(x.R)
+	case *Agg:
+		return true
+	}
+	return true
+}
+
+// sargable extracts a conjunct usable for index selection on the table
+// bound to alias.
+func sargable(e Expr, alias string, schema *storage.Schema, params []any) (conjunct, bool) {
+	b, ok := e.(*BinOp)
+	if ok {
+		col, colOK := b.L.(*Col)
+		val, valOK := constValue(b.R, params)
+		op := b.Op
+		if !colOK {
+			// constant <op> column: flip.
+			col, colOK = b.R.(*Col)
+			val, valOK = constValue(b.L, params)
+			op = flipOp(op)
+		}
+		if !colOK || !valOK || val == nil {
+			return conjunct{}, false
+		}
+		if col.Table != "" && col.Table != alias {
+			return conjunct{}, false
+		}
+		if schema.ColIndex(col.Name) < 0 {
+			return conjunct{}, false
+		}
+		switch op {
+		case "=", "<", "<=", ">", ">=":
+			return conjunct{col: col.Name, op: op, val: val}, true
+		}
+		return conjunct{}, false
+	}
+	if bt, ok := e.(*Between); ok {
+		// BETWEEN contributes its lower bound; the upper bound is
+		// re-checked by the residual filter. (Only the lo conjunct is
+		// returned; callers treat BETWEEN as ">= lo".)
+		col, colOK := bt.E.(*Col)
+		lo, loOK := constValue(bt.Lo, params)
+		if colOK && loOK && lo != nil && (col.Table == "" || col.Table == alias) && schema.ColIndex(col.Name) >= 0 {
+			return conjunct{col: col.Name, op: ">=", val: lo}, true
+		}
+	}
+	return conjunct{}, false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// choosePath picks the access path for one table given the WHERE
+// conjuncts that mention it.
+func choosePath(schema *storage.Schema, alias string, where Expr, params []any) accessPath {
+	var conjs []conjunct
+	if where != nil {
+		for _, e := range splitConjuncts(where, nil) {
+			if c, ok := sargable(e, alias, schema, params); ok {
+				conjs = append(conjs, c)
+			}
+		}
+	}
+	if len(conjs) == 0 {
+		return accessPath{kind: kindFull}
+	}
+
+	// 1. Full-PK equality → point lookup.
+	eq := map[string]any{}
+	for _, c := range conjs {
+		if c.op == "=" {
+			eq[c.col] = c.val
+		}
+	}
+	if len(eq) > 0 {
+		vals := make([]any, 0, len(schema.Key))
+		all := true
+		for _, kc := range schema.Key {
+			v, ok := eq[kc]
+			if !ok {
+				all = false
+				break
+			}
+			cv, err := coerceValue(v, schema.Columns[schema.ColIndex(kc)].Type)
+			if err != nil {
+				all = false
+				break
+			}
+			vals = append(vals, cv)
+		}
+		if all {
+			return accessPath{kind: kindPoint, pointKey: storage.EncodeKey(vals...)}
+		}
+	}
+
+	// 2. PK prefix: equality on leading key columns, optional range on
+	// the next one.
+	var prefix []any
+	for _, kc := range schema.Key {
+		v, ok := eq[kc]
+		if !ok {
+			break
+		}
+		cv, err := coerceValue(v, schema.Columns[schema.ColIndex(kc)].Type)
+		if err != nil {
+			break
+		}
+		prefix = append(prefix, cv)
+	}
+	var lo, hi string
+	if len(prefix) > 0 {
+		base := storage.EncodeKey(prefix...)
+		lo, hi = base, base+"\xff"
+	}
+	if len(prefix) < len(schema.Key) {
+		nextCol := schema.Key[len(prefix)]
+		nextType := schema.Columns[schema.ColIndex(nextCol)].Type
+		for _, c := range conjs {
+			if c.col != nextCol || c.op == "=" {
+				continue
+			}
+			cv, err := coerceValue(c.val, nextType)
+			if err != nil {
+				continue
+			}
+			bound := storage.EncodeKey(append(append([]any{}, prefix...), cv)...)
+			switch c.op {
+			case ">", ">=":
+				if bound > lo {
+					lo = bound
+				}
+			case "<", "<=":
+				b := bound + "\xff"
+				if hi == "" || b < hi {
+					hi = b
+				}
+			}
+		}
+	}
+	if lo != "" || hi != "" {
+		return accessPath{kind: kindRange, lo: lo, hi: hi}
+	}
+
+	// 3. Secondary-index equality.
+	for _, def := range schema.Indexes {
+		if v, ok := eq[def.Column]; ok {
+			cv, err := coerceValue(v, schema.Columns[schema.ColIndex(def.Column)].Type)
+			if err == nil {
+				return accessPath{kind: kindIndexEq, indexName: def.Name, indexVal: cv}
+			}
+		}
+	}
+	return accessPath{kind: kindFull}
+}
+
+// fetch runs the access path against a transaction.
+func fetch(tx *storage.Txn, table string, path accessPath) ([]storage.KV, error) {
+	switch path.kind {
+	case kindPoint:
+		row, ok, err := tx.Get(table, path.pointKey)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return []storage.KV{{Key: path.pointKey, Row: row}}, nil
+	case kindRange:
+		return tx.ScanRange(table, path.lo, path.hi)
+	case kindIndexEq:
+		return tx.ScanIndexEq(table, path.indexName, path.indexVal)
+	default:
+		return tx.ScanAll(table)
+	}
+}
+
+// coerceValue converts a value to the column type where SQL allows it
+// implicitly (int literals into FLOAT columns, and integral floats into
+// INT columns).
+func coerceValue(v any, t storage.ColType) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case storage.TFloat:
+		if iv, ok := v.(int64); ok {
+			return float64(iv), nil
+		}
+	case storage.TInt:
+		if fv, ok := v.(float64); ok && fv == float64(int64(fv)) {
+			return int64(fv), nil
+		}
+	}
+	if err := storage.CheckValue(t, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Explain returns a one-line description of the access path a SELECT,
+// UPDATE, or DELETE would use for its primary table — handy in tests
+// and the CLI.
+func Explain(e *storage.Engine, stmt Stmt, params []any) (string, error) {
+	var table, alias string
+	var where Expr
+	switch s := stmt.(type) {
+	case *Select:
+		table, alias, where = s.From.Table, s.From.Alias, s.Where
+	case *Update:
+		table, alias, where = s.Table, s.Table, s.Where
+	case *Delete:
+		table, alias, where = s.Table, s.Table, s.Where
+	default:
+		return "", fmt.Errorf("sql: cannot explain %T", stmt)
+	}
+	schema, ok := e.Schema(table)
+	if !ok {
+		return "", fmt.Errorf("%w: %s", storage.ErrNoTable, table)
+	}
+	path := choosePath(schema, alias, where, params)
+	return fmt.Sprintf("%s on %s", path.kind, table), nil
+}

@@ -1,0 +1,189 @@
+// Package sql implements the SQL subset the replicated system executes:
+// CREATE TABLE / CREATE INDEX, SELECT with inner joins, WHERE
+// conjunctions, GROUP BY with aggregates, ORDER BY and LIMIT, plus
+// INSERT, UPDATE, and DELETE — all with ? placeholders so workloads run
+// as prepared statements.
+//
+// Prepared statements matter beyond convenience: the fine-grained
+// consistency technique (§III-C of the paper) statically extracts the
+// *table-set* of each prepared transaction, which is exactly what this
+// package's parser exposes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPlaceholder
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords are upper-cased, identifiers lower-cased
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of statement"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"PRIMARY": true, "KEY": true, "ON": true, "JOIN": true, "INNER": true,
+	"GROUP": true, "BY": true, "ORDER": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "AS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"INT": true, "BIGINT": true, "FLOAT": true, "DOUBLE": true, "TEXT": true,
+	"VARCHAR": true, "BOOL": true, "BOOLEAN": true, "LIKE": true, "IS": true,
+	"DISTINCT": true, "BETWEEN": true, "OFFSET": true,
+}
+
+// lexer splits a statement into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. It returns an error with position context for any
+// byte it cannot interpret.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		start := l.pos
+		switch {
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				l.emit(tokKeyword, upper, start)
+			} else {
+				l.emit(tokIdent, strings.ToLower(word), start)
+			}
+		case c >= '0' && c <= '9':
+			kind := tokInt
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			if l.pos < len(l.src) && l.src[l.pos] == '.' {
+				kind = tokFloat
+				l.pos++
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			}
+			if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+				kind = tokFloat
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			}
+			l.emit(kind, l.src[start:l.pos], start)
+		case c == '\'':
+			l.pos++
+			var b strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '\'' {
+					// '' escapes a quote.
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						b.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					closed = true
+					break
+				}
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at position %d", start)
+			}
+			l.emit(tokString, b.String(), start)
+		case c == '?':
+			l.pos++
+			l.emit(tokPlaceholder, "?", start)
+		case strings.ContainsRune("(),.*=+-/;", rune(c)):
+			l.pos++
+			l.emit(tokSymbol, string(c), start)
+		case c == '<':
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				l.pos++
+			}
+			l.emit(tokSymbol, l.src[start:l.pos], start)
+		case c == '>':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.emit(tokSymbol, l.src[start:l.pos], start)
+		case c == '!':
+			l.pos++
+			if l.pos >= len(l.src) || l.src[l.pos] != '=' {
+				return nil, fmt.Errorf("sql: unexpected '!' at position %d", start)
+			}
+			l.pos++
+			l.emit(tokSymbol, "!=", start)
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,334 @@
+// Package storage implements the in-memory multiversion storage engine
+// that plays the role of the standalone DBMS inside each replica
+// (SQL Server 2008 in the paper's testbed).
+//
+// The engine provides exactly what the replication middleware needs
+// from its local DBMS:
+//
+//   - snapshot isolation: a transaction reads the database state as of
+//     the commit version current when it began, and buffers its writes;
+//   - commit-at-version: the proxy commits local and refresh
+//     transactions at versions assigned by the certifier, in certifier
+//     order, advancing the replica's Vlocal by one per commit;
+//   - writeset extraction: a transaction's buffered writes are exported
+//     as full row images for certification and refresh propagation;
+//   - first-committer-wins (for standalone, unreplicated use).
+//
+// Tables are B+-tree ordered by an order-preserving encoding of the
+// primary key; each row is a version chain. Secondary indexes are
+// value-superset indexes: an entry exists while any live version of the
+// row carries the indexed value, and readers re-check visibility.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sconrep/internal/btree"
+	"sconrep/internal/writeset"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoTable      = errors.New("storage: no such table")
+	ErrNoIndex      = errors.New("storage: no such index")
+	ErrDuplicateKey = errors.New("storage: duplicate primary key")
+	ErrNoRow        = errors.New("storage: no such row")
+	ErrConflict     = errors.New("storage: write-write conflict")
+	ErrTxnFinished  = errors.New("storage: transaction already finished")
+	ErrBadVersion   = errors.New("storage: commit version out of order")
+)
+
+// verRow is one version of a row. deleted marks a tombstone.
+type verRow struct {
+	version uint64
+	deleted bool
+	row     []any
+	prev    *verRow
+}
+
+// chain is the version chain of one primary key, newest first.
+type chain struct {
+	head *verRow
+}
+
+// visibleAt returns the newest version at or below snapshot, or nil.
+func (c *chain) visibleAt(snapshot uint64) *verRow {
+	for v := c.head; v != nil; v = v.prev {
+		if v.version <= snapshot {
+			if v.deleted {
+				return nil
+			}
+			return v
+		}
+	}
+	return nil
+}
+
+// secIndex is a secondary index: (encoded value ++ encoded pk) → refcount.
+// The refcount counts live row versions carrying that value, so vacuum
+// can drop entries precisely.
+type secIndex struct {
+	col  int
+	tree *btree.Tree
+}
+
+func (ix *secIndex) entryKey(val any, pk string) string {
+	return string(EncodeValue(nil, val)) + pk
+}
+
+func (ix *secIndex) add(val any, pk string) {
+	if val == nil {
+		return
+	}
+	k := ix.entryKey(val, pk)
+	if n, ok := ix.tree.Get(k); ok {
+		ix.tree.Set(k, n.(int)+1)
+	} else {
+		ix.tree.Set(k, 1)
+	}
+}
+
+func (ix *secIndex) remove(val any, pk string) {
+	if val == nil {
+		return
+	}
+	k := ix.entryKey(val, pk)
+	if n, ok := ix.tree.Get(k); ok {
+		if n.(int) <= 1 {
+			ix.tree.Delete(k)
+		} else {
+			ix.tree.Set(k, n.(int)-1)
+		}
+	}
+}
+
+// table holds one table's schema, row chains, and secondary indexes.
+type table struct {
+	schema  *Schema
+	rows    *btree.Tree          // encoded pk → *chain
+	indexes map[string]*secIndex // index name → index
+}
+
+// Engine is a multiversion storage engine instance. All methods are
+// safe for concurrent use.
+type Engine struct {
+	mu      sync.RWMutex
+	tables  map[string]*table
+	version uint64
+}
+
+// NewEngine returns an empty engine at version 0.
+func NewEngine() *Engine {
+	return &Engine{tables: make(map[string]*table)}
+}
+
+// CreateTable registers a table. It is an error if the name is taken.
+func (e *Engine) CreateTable(s *Schema) error {
+	cp := &Schema{
+		Table:   s.Table,
+		Columns: append([]Column(nil), s.Columns...),
+		Key:     append([]string(nil), s.Key...),
+		Indexes: append([]IndexDef(nil), s.Indexes...),
+	}
+	if err := cp.normalize(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.tables[cp.Table]; exists {
+		return fmt.Errorf("storage: table %s already exists", cp.Table)
+	}
+	t := &table{
+		schema:  cp,
+		rows:    btree.New(),
+		indexes: make(map[string]*secIndex),
+	}
+	for _, def := range cp.Indexes {
+		t.indexes[def.Name] = &secIndex{col: cp.ColIndex(def.Column), tree: btree.New()}
+	}
+	e.tables[cp.Table] = t
+	return nil
+}
+
+// CreateIndex adds a secondary index to an existing table and
+// backfills it from all live row versions.
+func (e *Engine) CreateIndex(tableName string, def IndexDef) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
+	}
+	if _, dup := t.indexes[def.Name]; dup {
+		return fmt.Errorf("storage: index %s already exists on %s", def.Name, tableName)
+	}
+	col := t.schema.ColIndex(def.Column)
+	if col < 0 {
+		return fmt.Errorf("storage: table %s: column %s does not exist", tableName, def.Column)
+	}
+	ix := &secIndex{col: col, tree: btree.New()}
+	it := t.rows.ScanAll()
+	for it.Next() {
+		pk := it.Key()
+		for v := it.Value().(*chain).head; v != nil; v = v.prev {
+			if !v.deleted {
+				ix.add(v.row[col], pk)
+			}
+		}
+	}
+	t.indexes[def.Name] = ix
+	t.schema.Indexes = append(t.schema.Indexes, def)
+	return nil
+}
+
+// Schema returns the schema of the named table.
+func (e *Engine) Schema(tableName string) (*Schema, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[tableName]
+	if !ok {
+		return nil, false
+	}
+	return t.schema, true
+}
+
+// Tables returns the names of all tables.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Version returns the engine's latest committed version (Vlocal).
+func (e *Engine) Version() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// RowEstimate returns the number of primary keys present in a table
+// (including tombstoned chains); used by the SQL planner.
+func (e *Engine) RowEstimate(tableName string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if t, ok := e.tables[tableName]; ok {
+		return t.rows.Len()
+	}
+	return 0
+}
+
+// applyItem installs one writeset item at version v. Caller holds e.mu.
+func (e *Engine) applyItem(it *writeset.Item, v uint64) error {
+	t, ok := e.tables[it.Table]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, it.Table)
+	}
+	var ch *chain
+	if cv, ok := t.rows.Get(it.Key); ok {
+		ch = cv.(*chain)
+	} else {
+		ch = &chain{}
+		t.rows.Set(it.Key, ch)
+	}
+	nv := &verRow{version: v, prev: ch.head}
+	if it.Op == writeset.OpDelete {
+		nv.deleted = true
+	} else {
+		if err := t.schema.CheckRow(it.Row); err != nil {
+			return err
+		}
+		nv.row = append([]any(nil), it.Row...)
+		for _, ix := range t.indexes {
+			ix.add(nv.row[ix.col], it.Key)
+		}
+	}
+	ch.head = nv
+	return nil
+}
+
+// ApplyWriteSet commits a writeset at the given version. The version
+// must be exactly Version()+1: the proxy is responsible for applying
+// refresh and local commits in certifier order, and this check turns
+// an ordering bug into a loud error instead of silent corruption.
+func (e *Engine) ApplyWriteSet(ws *writeset.WriteSet, atVersion uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if atVersion != e.version+1 {
+		return fmt.Errorf("%w: engine at %d, writeset at %d", ErrBadVersion, e.version, atVersion)
+	}
+	for i := range ws.Items {
+		if err := e.applyItem(&ws.Items[i], atVersion); err != nil {
+			return err
+		}
+	}
+	e.version = atVersion
+	return nil
+}
+
+// AdvanceEmpty advances the version counter without modifying data.
+// The proxy uses it when the certifier assigns a version to a
+// transaction whose writeset is not applied locally (never the case in
+// the current protocol, but required by recovery replay of aborted
+// slots) and by tests.
+func (e *Engine) AdvanceEmpty(atVersion uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if atVersion != e.version+1 {
+		return fmt.Errorf("%w: engine at %d, advance to %d", ErrBadVersion, e.version, atVersion)
+	}
+	e.version = atVersion
+	return nil
+}
+
+// Vacuum drops row versions that are no longer visible to any
+// snapshot at or above keepVersion, and returns how many versions were
+// reclaimed. Chains whose only remaining version is a tombstone at or
+// below keepVersion are removed entirely.
+func (e *Engine) Vacuum(keepVersion uint64) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	removed := 0
+	for _, t := range e.tables {
+		var drop []string
+		it := t.rows.ScanAll()
+		for it.Next() {
+			pk := it.Key()
+			ch := it.Value().(*chain)
+			// Find the newest version at or below keepVersion: it is
+			// the oldest version any live snapshot can still see.
+			var keep *verRow
+			for v := ch.head; v != nil; v = v.prev {
+				if v.version <= keepVersion {
+					keep = v
+					break
+				}
+			}
+			if keep == nil {
+				continue
+			}
+			for v := keep.prev; v != nil; v = v.prev {
+				removed++
+				if !v.deleted {
+					for _, ix := range t.indexes {
+						ix.remove(v.row[ix.col], pk)
+					}
+				}
+			}
+			keep.prev = nil
+			if keep.deleted && keep == ch.head {
+				removed++
+				drop = append(drop, pk)
+			}
+		}
+		for _, pk := range drop {
+			t.rows.Delete(pk)
+		}
+	}
+	return removed
+}

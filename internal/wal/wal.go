@@ -1,0 +1,180 @@
+// Package wal provides the append-only decision log the certifier uses
+// to make certification decisions durable.
+//
+// In the paper's design (§IV, following Tashkent) replicas run with
+// log forcing disabled; transaction durability is the certifier's
+// responsibility. The certifier appends one record per committed
+// update transaction — the assigned commit version and the full
+// writeset — and forces it before acknowledging. On recovery the log
+// is replayed to rebuild the certifier's version counter and the
+// refresh history replicas may still need.
+//
+// Records are length-prefixed gob frames with a CRC32 guard, so a torn
+// final write is detected and truncated rather than misread.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"sconrep/internal/writeset"
+)
+
+// Record is one durable certification decision.
+type Record struct {
+	Version  uint64
+	TxnID    uint64
+	WriteSet writeset.WriteSet
+}
+
+// ErrCorrupt reports a record that failed its checksum mid-log (not at
+// the tail, where truncation is the expected crash artifact).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only record log. The zero value is not usable; use
+// Open or NewMemory.
+type Log struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+	syncer interface{ Sync() error }
+	buf    bytes.Buffer
+}
+
+// NewMemory returns a log writing to an in-memory buffer — used by
+// in-process clusters where durability is simulated by the latency
+// model rather than real disk I/O.
+func NewMemory() *Log {
+	l := &Log{}
+	l.w = &l.buf
+	return l
+}
+
+// Open opens (creating if needed) a file-backed log for appending.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{w: f, closer: f, syncer: f}, nil
+}
+
+// Append writes one record and forces it to stable storage (for
+// file-backed logs).
+func (l *Log) Append(r *Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(r); err != nil {
+		return fmt.Errorf("wal: encode: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	if _, err := l.w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	if l.syncer != nil {
+		if err := l.syncer.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying file, if any.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closer != nil {
+		return l.closer.Close()
+	}
+	return nil
+}
+
+// MemoryBytes returns a copy of an in-memory log's contents (nil for
+// file-backed logs); used to replay without touching disk.
+func (l *Log) MemoryBytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.buf.Bytes()...)
+}
+
+// Replay reads records from r until EOF, invoking fn for each. A
+// truncated tail (torn final write) ends replay cleanly; a checksum
+// mismatch with further bytes after it returns ErrCorrupt.
+func Replay(r io.Reader, fn func(*Record) error) error {
+	br := &countingReader{r: r}
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn header at tail
+			}
+			return fmt.Errorf("wal: read header: %w", err)
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn payload at tail
+			}
+			return fmt.Errorf("wal: read payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			// Distinguish a torn tail from mid-log damage: if there is
+			// anything after this record, the log is corrupt.
+			var probe [1]byte
+			if _, err := br.Read(probe[:]); err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("%w at offset %d", ErrCorrupt, br.n)
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return fmt.Errorf("wal: decode: %w", err)
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+}
+
+// ReplayFile replays a file-backed log.
+func ReplayFile(path string, fn func(*Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: open for replay: %w", err)
+	}
+	defer f.Close()
+	return Replay(f, fn)
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

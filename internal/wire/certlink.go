@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/replica"
+	"sconrep/internal/writeset"
+)
+
+// Certifier-link protocol. Every connection starts with certHello;
+// Kind selects streaming ("sub") or request/response ("req").
+type certHello struct {
+	Kind      string // "sub" or "req"
+	ReplicaID int
+	VLocal    uint64 // replica's durable version, for StartAt adoption
+}
+
+// certRequest is the request envelope on "req" connections; exactly
+// one field group is set per call.
+type certRequest struct {
+	Op string // "certify", "applied", "history", "globalwait", "version"
+
+	// certify
+	Origin   int
+	TxnID    uint64
+	Snapshot uint64
+	WS       *writeset.WriteSet
+
+	// applied / globalwait
+	ReplicaID int
+	Version   uint64
+
+	// history
+	After uint64
+}
+
+// certResponse is the response envelope.
+type certResponse struct {
+	Err      string
+	Decision certifier.Decision
+	History  []certifier.Refresh
+	Version  uint64
+}
+
+// refreshBatch is pushed on "sub" connections.
+type refreshBatch struct {
+	Refreshes []certifier.Refresh
+}
+
+// CertServer exposes a certifier on a TCP listener.
+type CertServer struct {
+	cert *certifier.Certifier
+	ln   net.Listener
+
+	mu      sync.Mutex
+	adopted bool
+	closed  bool
+}
+
+// ServeCertifier starts serving cert on addr and returns the server.
+// If the certifier is fresh (version 0), the first replica hello's
+// VLocal is adopted via StartAt, aligning the version counter with
+// deterministically bootstrapped replicas.
+func ServeCertifier(cert *certifier.Certifier, addr string) (*CertServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &CertServer{cert: cert, ln: ln}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *CertServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *CertServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *CertServer) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(c)
+	}
+}
+
+func (s *CertServer) handle(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	var hello certHello
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	s.maybeAdopt(hello)
+	switch hello.Kind {
+	case "sub":
+		s.streamRefreshes(c, enc, hello.ReplicaID)
+	case "req":
+		s.serveRequests(dec, enc)
+	}
+}
+
+// maybeAdopt aligns a fresh certifier with bootstrapped replicas.
+func (s *CertServer) maybeAdopt(h certHello) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adopted || h.VLocal == 0 {
+		return
+	}
+	if err := s.cert.StartAt(h.VLocal); err == nil {
+		log.Printf("wire: certifier adopted start version %d from replica %d", h.VLocal, h.ReplicaID)
+	}
+	s.adopted = true
+}
+
+func (s *CertServer) streamRefreshes(c net.Conn, enc *gob.Encoder, replicaID int) {
+	sub := s.cert.Subscribe(replicaID)
+	defer s.cert.Unsubscribe(replicaID)
+	for {
+		batch, ok := sub.Take()
+		if !ok {
+			return
+		}
+		if err := enc.Encode(refreshBatch{Refreshes: batch}); err != nil {
+			return
+		}
+	}
+}
+
+func (s *CertServer) serveRequests(dec *gob.Decoder, enc *gob.Encoder) {
+	for {
+		var req certRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp certResponse
+		switch req.Op {
+		case "certify":
+			d, err := s.cert.Certify(req.Origin, req.TxnID, req.Snapshot, cloneWS(req.WS))
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			resp.Decision = d
+		case "applied":
+			s.cert.Applied(req.ReplicaID, req.Version)
+		case "history":
+			resp.History = s.cert.History(req.After)
+		case "globalwait":
+			<-s.cert.GlobalCommitted(req.Version)
+		case "version":
+			resp.Version = s.cert.Version()
+		default:
+			resp.Err = fmt.Sprintf("wire: unknown certifier op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// CertClient implements replica.CertService against a remote
+// certifier.
+type CertClient struct {
+	addr      string
+	replicaID int
+	vlocal    uint64
+	pool      *connPool
+
+	mu    sync.Mutex
+	queue *refreshQueue
+	sub   net.Conn
+}
+
+var _ replica.CertService = (*CertClient)(nil)
+
+// DialCertifier connects a replica to a remote certifier. vlocal is
+// the replica's bootstrapped version (for StartAt adoption).
+func DialCertifier(addr string, replicaID int, vlocal uint64) *CertClient {
+	return &CertClient{
+		addr:      addr,
+		replicaID: replicaID,
+		vlocal:    vlocal,
+		pool:      newConnPool(addr, certHello{Kind: "req", ReplicaID: replicaID, VLocal: vlocal}),
+	}
+}
+
+func (c *CertClient) call(req certRequest) (certResponse, error) {
+	var resp certResponse
+	if err := c.pool.call(&req, &resp); err != nil {
+		return resp, err
+	}
+	if resp.Err != "" {
+		if resp.Err == certifier.ErrSnapshotTooOld.Error() {
+			return resp, certifier.ErrSnapshotTooOld
+		}
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Certify implements replica.CertService.
+func (c *CertClient) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error) {
+	resp, err := c.call(certRequest{Op: "certify", Origin: origin, TxnID: txnID, Snapshot: snapshot, WS: ws})
+	return resp.Decision, err
+}
+
+// Subscribe implements replica.CertService: it opens the streaming
+// connection and pumps refresh batches into a local queue.
+func (c *CertClient) Subscribe(replicaID int) replica.RefreshSource {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.queue != nil {
+		c.queue.close()
+	}
+	if c.sub != nil {
+		c.sub.Close()
+	}
+	q := newRefreshQueue()
+	c.queue = q
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		log.Printf("wire: subscribe dial %s: %v", c.addr, err)
+		q.close()
+		return q
+	}
+	c.sub = conn
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(certHello{Kind: "sub", ReplicaID: replicaID, VLocal: c.vlocal}); err != nil {
+		conn.Close()
+		q.close()
+		return q
+	}
+	go func() {
+		dec := gob.NewDecoder(conn)
+		for {
+			var batch refreshBatch
+			if err := dec.Decode(&batch); err != nil {
+				q.close()
+				return
+			}
+			q.push(batch.Refreshes)
+		}
+	}()
+	return q
+}
+
+// Unsubscribe implements replica.CertService.
+func (c *CertClient) Unsubscribe(replicaID int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sub != nil {
+		c.sub.Close()
+		c.sub = nil
+	}
+	if c.queue != nil {
+		c.queue.close()
+		c.queue = nil
+	}
+}
+
+// Applied implements replica.CertService.
+func (c *CertClient) Applied(replicaID int, v uint64) {
+	if _, err := c.call(certRequest{Op: "applied", ReplicaID: replicaID, Version: v}); err != nil {
+		log.Printf("wire: applied(%d): %v", v, err)
+	}
+}
+
+// GlobalCommitted implements replica.CertService. The returned channel
+// closes when the remote wait completes (or the link fails — blocking
+// a commit forever on a dead certifier would be worse than a spurious
+// early ack, and the paper's certifier is assumed recoverable).
+func (c *CertClient) GlobalCommitted(v uint64) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.call(certRequest{Op: "globalwait", Version: v}); err != nil {
+			log.Printf("wire: globalwait(%d): %v", v, err)
+		}
+	}()
+	return done
+}
+
+// History implements replica.CertService.
+func (c *CertClient) History(after uint64) []certifier.Refresh {
+	resp, err := c.call(certRequest{Op: "history", After: after})
+	if err != nil {
+		log.Printf("wire: history(%d): %v", after, err)
+		return nil
+	}
+	return resp.History
+}
+
+// Close tears down the client.
+func (c *CertClient) Close() {
+	c.Unsubscribe(c.replicaID)
+	c.pool.close()
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"sconrep/internal/sql"
+)
+
+// Client is an application's connection to a gateway: one session, one
+// transaction at a time.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial opens a session against a gateway.
+func Dial(addr, sessionID string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial gateway %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if err := c.enc.Encode(clientHello{SessionID: sessionID}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	return c, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req clientRequest) (*clientResponse, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp clientResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	if resp.Err != "" {
+		fake := replicaResponse{Err: resp.Err, ErrCode: resp.ErrCode}
+		return &resp, decodeErr(&fake)
+	}
+	return &resp, nil
+}
+
+// RegisterTxn declares a named transaction's table-set at the gateway
+// (fine-grained consistency).
+func (c *Client) RegisterTxn(name string, tables []string) error {
+	_, err := c.call(clientRequest{Op: "register", Name: name, Tables: tables})
+	return err
+}
+
+// Begin starts a transaction under the given name.
+func (c *Client) Begin(txnName string) error {
+	_, err := c.call(clientRequest{Op: "begin", TxnName: txnName})
+	return err
+}
+
+// Exec runs one SQL statement in the open transaction.
+func (c *Client) Exec(query string, params ...any) (*sql.Result, error) {
+	resp, err := c.call(clientRequest{Op: "exec", SQL: query, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// Commit finishes the open transaction and returns the commit version
+// (snapshot version for read-only transactions).
+func (c *Client) Commit() (version uint64, readOnly bool, err error) {
+	resp, err := c.call(clientRequest{Op: "commit"})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Version, resp.ReadOnly, nil
+}
+
+// Abort discards the open transaction.
+func (c *Client) Abort() error {
+	_, err := c.call(clientRequest{Op: "abort"})
+	return err
+}

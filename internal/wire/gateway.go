@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sconrep/internal/core"
+	"sconrep/internal/lb"
+	"sconrep/internal/replica"
+	"sconrep/internal/sql"
+)
+
+// Client-link protocol (application ⇄ gateway).
+
+type clientHello struct {
+	SessionID string
+}
+
+type clientRequest struct {
+	Op string // "register", "begin", "exec", "commit", "abort"
+
+	// register
+	Name   string
+	Tables []string
+
+	// begin
+	TxnName string
+
+	// exec
+	SQL    string
+	Params []any
+}
+
+type clientResponse struct {
+	Err     string
+	ErrCode string
+	Result  *sql.Result
+	// commit
+	Version  uint64
+	ReadOnly bool
+}
+
+// Gateway is the networked load balancer: it accepts client sessions,
+// routes transactions to replica processes per the consistency mode,
+// and maintains the version tracker from commit acknowledgments.
+type Gateway struct {
+	balancer *lb.LoadBalancer
+	replicas []*remoteReplica
+	ln       net.Listener
+	stop     chan struct{}
+}
+
+// ServeGateway starts a gateway on addr routing to the given replica
+// addresses under the given consistency mode.
+func ServeGateway(addr string, mode core.Mode, replicaAddrs []string) (*Gateway, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	g := &Gateway{ln: ln, stop: make(chan struct{})}
+	nodes := make([]lb.Node, 0, len(replicaAddrs))
+	for i, a := range replicaAddrs {
+		rr := newRemoteReplica(i, a)
+		g.replicas = append(g.replicas, rr)
+		nodes = append(nodes, rr)
+	}
+	g.balancer = lb.New(mode, nodes)
+	go g.acceptLoop()
+	go g.probeLoop()
+	return g, nil
+}
+
+// Addr returns the bound address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Close stops the gateway.
+func (g *Gateway) Close() error {
+	close(g.stop)
+	return g.ln.Close()
+}
+
+// Balancer exposes the LB (tests).
+func (g *Gateway) Balancer() *lb.LoadBalancer { return g.balancer }
+
+func (g *Gateway) acceptLoop() {
+	for {
+		c, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		go g.handle(c)
+	}
+}
+
+// probeLoop keeps replica health fresh so recovered replicas rejoin.
+func (g *Gateway) probeLoop() {
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-tick.C:
+			for _, r := range g.replicas {
+				r.probe()
+			}
+		}
+	}
+}
+
+// gatewaySession is the per-connection session state: sessions are
+// serial, so at most one transaction is open per connection.
+type gatewaySession struct {
+	id      string
+	replica *remoteReplica
+	txnID   uint64
+	open    bool
+}
+
+func (g *Gateway) handle(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	var hello clientHello
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	sess := &gatewaySession{id: hello.SessionID}
+	defer func() {
+		if sess.open {
+			_, _ = sess.replica.call(&replicaRequest{Op: "abort", TxnID: sess.txnID})
+			sess.replica.active.Add(-1)
+		}
+		g.balancer.EndSession(sess.id)
+	}()
+	for {
+		var req clientRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := g.dispatch(sess, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (g *Gateway) dispatch(sess *gatewaySession, req *clientRequest) *clientResponse {
+	resp := &clientResponse{}
+	fail := func(err error) *clientResponse {
+		resp.Err = err.Error()
+		resp.ErrCode = errCode(err)
+		return resp
+	}
+	switch req.Op {
+	case "register":
+		g.balancer.RegisterTxn(req.Name, req.Tables)
+	case "begin":
+		if sess.open {
+			return fail(errors.New("wire: transaction already open on this session"))
+		}
+		route, err := g.balancer.Dispatch(sess.id, req.TxnName)
+		if err != nil {
+			return fail(err)
+		}
+		rr := route.Node.(*remoteReplica)
+		rr.active.Add(1)
+		r, err := rr.call(&replicaRequest{Op: "begin", MinVersion: route.MinVersion})
+		if err != nil {
+			rr.active.Add(-1)
+			return fail(err)
+		}
+		sess.replica = rr
+		sess.txnID = r.TxnID
+		sess.open = true
+	case "exec":
+		if !sess.open {
+			return fail(errors.New("wire: no open transaction"))
+		}
+		r, err := sess.replica.call(&replicaRequest{Op: "exec", TxnID: sess.txnID, SQL: req.SQL, Params: req.Params})
+		if err != nil {
+			if errors.Is(err, replica.ErrEarlyAbort) || errors.Is(err, replica.ErrCertifyConflict) || errors.Is(err, replica.ErrCrashed) {
+				sess.open = false
+				sess.replica.active.Add(-1)
+			}
+			return fail(err)
+		}
+		resp.Result = r.Result
+	case "commit":
+		if !sess.open {
+			return fail(errors.New("wire: no open transaction"))
+		}
+		sess.open = false
+		sess.replica.active.Add(-1)
+		eager := g.balancer.Mode() == core.Eager
+		r, err := sess.replica.call(&replicaRequest{Op: "commit", TxnID: sess.txnID, Eager: eager})
+		if err != nil {
+			return fail(err)
+		}
+		g.balancer.ObserveCommit(sess.id, r.Commit)
+		resp.Version = r.Commit.Version
+		resp.ReadOnly = r.Commit.ReadOnly
+	case "abort":
+		if sess.open {
+			sess.open = false
+			sess.replica.active.Add(-1)
+			_, _ = sess.replica.call(&replicaRequest{Op: "abort", TxnID: sess.txnID})
+		}
+	default:
+		return fail(fmt.Errorf("wire: unknown client op %q", req.Op))
+	}
+	return resp
+}

@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"sconrep/internal/metrics"
+	"sconrep/internal/replica"
+	"sconrep/internal/sql"
+)
+
+// Replica-link protocol (gateway ⇄ replica).
+
+type replicaRequest struct {
+	Op string // "begin", "exec", "commit", "abort", "status"
+
+	// begin
+	MinVersion uint64
+
+	// exec / commit / abort
+	TxnID  uint64
+	SQL    string
+	Params []any
+	Eager  bool
+}
+
+type replicaResponse struct {
+	Err     string
+	ErrCode string // "conflict", "crashed", "" — retryability over the wire
+
+	TxnID    uint64
+	Snapshot uint64
+	Result   *sql.Result
+	Commit   replica.CommitResult
+
+	// status
+	Version uint64
+	Active  int
+	Crashed bool
+}
+
+func errCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, replica.ErrCertifyConflict), errors.Is(err, replica.ErrEarlyAbort):
+		return "conflict"
+	case errors.Is(err, replica.ErrCrashed):
+		return "crashed"
+	default:
+		return "other"
+	}
+}
+
+func decodeErr(resp *replicaResponse) error {
+	if resp.Err == "" {
+		return nil
+	}
+	switch resp.ErrCode {
+	case "conflict":
+		return fmt.Errorf("%w: %s", replica.ErrCertifyConflict, resp.Err)
+	case "crashed":
+		return fmt.Errorf("%w: %s", replica.ErrCrashed, resp.Err)
+	default:
+		return errors.New(resp.Err)
+	}
+}
+
+// ReplicaServer exposes one replica's transaction API on a listener.
+type ReplicaServer struct {
+	rep *replica.Replica
+	ln  net.Listener
+
+	mu    sync.Mutex
+	txns  map[uint64]*replica.Txn
+	next  uint64
+	stmts map[string]*sql.Prepared
+}
+
+// ServeReplica starts serving rep on addr.
+func ServeReplica(rep *replica.Replica, addr string) (*ReplicaServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &ReplicaServer{
+		rep:   rep,
+		ln:    ln,
+		txns:  make(map[uint64]*replica.Txn),
+		stmts: make(map[string]*sql.Prepared),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *ReplicaServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *ReplicaServer) Close() error { return s.ln.Close() }
+
+func (s *ReplicaServer) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(c)
+	}
+}
+
+// prepared caches parses by statement text.
+func (s *ReplicaServer) prepared(text string) (*sql.Prepared, error) {
+	s.mu.Lock()
+	p, ok := s.stmts[text]
+	s.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := sql.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stmts[text] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+func (s *ReplicaServer) getTxn(id uint64) (*replica.Txn, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, ok := s.txns[id]
+	return tx, ok
+}
+
+func (s *ReplicaServer) dropTxn(id uint64) {
+	s.mu.Lock()
+	delete(s.txns, id)
+	s.mu.Unlock()
+}
+
+func (s *ReplicaServer) handle(c net.Conn) {
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	enc := gob.NewEncoder(c)
+	for {
+		var req replicaRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *ReplicaServer) dispatch(req *replicaRequest) *replicaResponse {
+	resp := &replicaResponse{}
+	fail := func(err error) *replicaResponse {
+		resp.Err = err.Error()
+		resp.ErrCode = errCode(err)
+		return resp
+	}
+	switch req.Op {
+	case "begin":
+		tx, err := s.rep.Begin(req.MinVersion, metrics.NewTxnTimer())
+		if err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.next++
+		id := s.next
+		s.txns[id] = tx
+		s.mu.Unlock()
+		resp.TxnID = id
+		resp.Snapshot = tx.Snapshot()
+	case "exec":
+		tx, ok := s.getTxn(req.TxnID)
+		if !ok {
+			return fail(replica.ErrTxnDone)
+		}
+		p, err := s.prepared(req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := tx.Exec(p, req.Params...)
+		if err != nil {
+			if errors.Is(err, replica.ErrEarlyAbort) || errors.Is(err, replica.ErrCrashed) {
+				s.dropTxn(req.TxnID)
+			}
+			return fail(err)
+		}
+		resp.Result = res
+	case "commit":
+		tx, ok := s.getTxn(req.TxnID)
+		if !ok {
+			return fail(replica.ErrTxnDone)
+		}
+		s.dropTxn(req.TxnID)
+		cres, err := tx.Commit(req.Eager)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Commit = cres
+		resp.Snapshot = tx.Snapshot()
+	case "abort":
+		if tx, ok := s.getTxn(req.TxnID); ok {
+			s.dropTxn(req.TxnID)
+			tx.Abort()
+		}
+	case "status":
+		resp.Version = s.rep.Version()
+		resp.Active = s.rep.Active()
+		resp.Crashed = s.rep.Crashed()
+	default:
+		return fail(fmt.Errorf("wire: unknown replica op %q", req.Op))
+	}
+	return resp
+}
+
+// remoteReplica is the gateway's handle on one replica process. It
+// implements lb.Node: the active count is tracked gateway-side (the
+// gateway initiates every transaction), and health is derived from
+// link errors plus status probes.
+type remoteReplica struct {
+	id      int
+	pool    *connPool
+	active  atomic.Int64
+	healthy atomic.Bool
+}
+
+func newRemoteReplica(id int, addr string) *remoteReplica {
+	r := &remoteReplica{id: id, pool: newConnPool(addr, nil)}
+	r.healthy.Store(true)
+	return r
+}
+
+// ID implements lb.Node.
+func (r *remoteReplica) ID() int { return r.id }
+
+// Active implements lb.Node.
+func (r *remoteReplica) Active() int { return int(r.active.Load()) }
+
+// Crashed implements lb.Node.
+func (r *remoteReplica) Crashed() bool { return !r.healthy.Load() }
+
+func (r *remoteReplica) call(req *replicaRequest) (*replicaResponse, error) {
+	var resp replicaResponse
+	if err := r.pool.call(req, &resp); err != nil {
+		r.healthy.Store(false)
+		return nil, err
+	}
+	if resp.ErrCode == "crashed" {
+		r.healthy.Store(false)
+	}
+	return &resp, decodeErr(&resp)
+}
+
+// probe refreshes the health flag; the gateway calls it periodically
+// so crashed replicas rejoin the routing set after recovery.
+func (r *remoteReplica) probe() {
+	var resp replicaResponse
+	if err := r.pool.call(&replicaRequest{Op: "status"}, &resp); err != nil {
+		r.healthy.Store(false)
+		return
+	}
+	r.healthy.Store(!resp.Crashed)
+}

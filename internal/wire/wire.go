@@ -1,0 +1,192 @@
+// Package wire provides the TCP/gob transport that turns the
+// in-process cluster into a distributed deployment, mirroring the
+// paper's testbed topology (Figure 2):
+//
+//	client ⇄ gateway (load balancer) ⇄ replicas ⇄ certifier
+//
+// Three protocols, all gob-framed over TCP:
+//
+//   - certifier link (CertServer / CertClient): replicas certify
+//     writesets, stream refreshes, acknowledge applies, and fetch
+//     recovery history;
+//   - replica link (ReplicaServer / replicaConn): the gateway begins,
+//     executes, and commits transactions on a replica;
+//   - client link (Gateway / Client): applications open sessions and
+//     run named transactions.
+//
+// Request/response calls use small per-destination connection pools
+// (one in-flight call per connection); refresh streaming uses one
+// dedicated connection per replica. Row values are []any restricted to
+// int64/float64/string/bool/nil, which gob handles once registered.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/writeset"
+)
+
+func init() {
+	// Row values travel as interface fields.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+}
+
+// connPool is a lazily grown pool of connections to one address. Each
+// Call takes a connection for a full request/response exchange.
+type connPool struct {
+	addr string
+	mu   sync.Mutex
+	free []*rpcConn
+	// hello is sent once on every new connection to select the peer's
+	// handler.
+	hello any
+}
+
+type rpcConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConnPool(addr string, hello any) *connPool {
+	return &connPool{addr: addr, hello: hello}
+}
+
+func (p *connPool) get() (*rpcConn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		rc := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return rc, nil
+	}
+	p.mu.Unlock()
+	c, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", p.addr, err)
+	}
+	rc := &rpcConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	if p.hello != nil {
+		if err := rc.enc.Encode(p.hello); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("wire: hello to %s: %w", p.addr, err)
+		}
+	}
+	return rc, nil
+}
+
+func (p *connPool) put(rc *rpcConn) {
+	p.mu.Lock()
+	p.free = append(p.free, rc)
+	p.mu.Unlock()
+}
+
+// call performs one request/response exchange; on any error the
+// connection is discarded.
+func (p *connPool) call(req, resp any) error {
+	rc, err := p.get()
+	if err != nil {
+		return err
+	}
+	if err := rc.enc.Encode(req); err != nil {
+		rc.c.Close()
+		return fmt.Errorf("wire: send to %s: %w", p.addr, err)
+	}
+	if err := rc.dec.Decode(resp); err != nil {
+		rc.c.Close()
+		return fmt.Errorf("wire: recv from %s: %w", p.addr, err)
+	}
+	p.put(rc)
+	return nil
+}
+
+// close drops all pooled connections.
+func (p *connPool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, rc := range p.free {
+		rc.c.Close()
+	}
+	p.free = nil
+}
+
+// refreshQueue implements replica.RefreshSource over a push stream.
+type refreshQueue struct {
+	mu     sync.Mutex
+	items  []certifier.Refresh
+	notify chan struct{}
+	closed bool
+}
+
+func newRefreshQueue() *refreshQueue {
+	return &refreshQueue{notify: make(chan struct{}, 1)}
+}
+
+func (q *refreshQueue) push(batch []certifier.Refresh) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, batch...)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Take implements replica.RefreshSource.
+func (q *refreshQueue) Take() ([]certifier.Refresh, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			batch := q.items
+			q.items = nil
+			q.mu.Unlock()
+			return batch, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, false
+		}
+		q.mu.Unlock()
+		<-q.notify
+	}
+}
+
+// Pending implements replica.RefreshSource.
+func (q *refreshQueue) Pending() []certifier.Refresh {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]certifier.Refresh(nil), q.items...)
+}
+
+// QueueLen implements replica.RefreshSource.
+func (q *refreshQueue) QueueLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *refreshQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// cloneWS deep-copies a writeset received from the network (defensive;
+// gob already allocates fresh storage, but the certifier retains
+// references).
+func cloneWS(ws *writeset.WriteSet) *writeset.WriteSet { return ws.Clone() }

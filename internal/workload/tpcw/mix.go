@@ -1,0 +1,165 @@
+package tpcw
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sconrep/internal/cluster"
+	"sconrep/internal/replica"
+)
+
+// Interaction is one weighted entry of a mix.
+type Interaction struct {
+	Name   string
+	Weight int
+	Update bool
+	Run    func(*cluster.Session, *Ctx) error
+}
+
+// Mix is a weighted set of interactions.
+type Mix struct {
+	Name         string
+	Interactions []Interaction
+	total        int
+}
+
+// UpdateFraction returns the weighted share of update interactions.
+func (m *Mix) UpdateFraction() float64 {
+	upd, tot := 0, 0
+	for _, in := range m.Interactions {
+		tot += in.Weight
+		if in.Update {
+			upd += in.Weight
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(upd) / float64(tot)
+}
+
+// pick selects an interaction by weight.
+func (m *Mix) pick(x *Ctx) *Interaction {
+	if m.total == 0 {
+		for _, in := range m.Interactions {
+			m.total += in.Weight
+		}
+	}
+	n := x.Rng.Intn(m.total)
+	for i := range m.Interactions {
+		n -= m.Interactions[i].Weight
+		if n < 0 {
+			return &m.Interactions[i]
+		}
+	}
+	return &m.Interactions[len(m.Interactions)-1]
+}
+
+// reads lists the read-only interactions with browsing-type weights.
+func readInteractions(wHome, wNew, wBest, wDetail, wSearch, wOrder int) []Interaction {
+	return []Interaction{
+		{Name: "home", Weight: wHome, Run: Home},
+		{Name: "newProducts", Weight: wNew, Run: NewProducts},
+		{Name: "bestSellers", Weight: wBest, Run: BestSellers},
+		{Name: "productDetail", Weight: wDetail, Run: ProductDetail},
+		{Name: "searchAuthor", Weight: wSearch, Run: SearchAuthor},
+		{Name: "searchTitle", Weight: wSearch, Run: SearchTitle},
+		{Name: "searchSubject", Weight: wSearch, Run: SearchSubject},
+		{Name: "orderDisplay", Weight: wOrder, Run: OrderDisplay},
+	}
+}
+
+func updateInteractions(wCart, wBuy, wReg, wAdmin int) []Interaction {
+	return []Interaction{
+		{Name: "shoppingCart", Weight: wCart, Update: true, Run: ShoppingCart},
+		{Name: "buyConfirm", Weight: wBuy, Update: true, Run: BuyConfirm},
+		{Name: "register", Weight: wReg, Update: true, Run: Register},
+		{Name: "adminConfirm", Weight: wAdmin, Update: true, Run: AdminConfirm},
+	}
+}
+
+// BrowsingMix has ~5% update transactions (§V-C).
+func BrowsingMix() *Mix {
+	return &Mix{
+		Name:         "browsing",
+		Interactions: append(readInteractions(16, 15, 15, 25, 6, 6), updateInteractions(3, 1, 1, 0)...),
+	}
+}
+
+// ShoppingMix has ~20% update transactions — the paper's most
+// representative mix.
+func ShoppingMix() *Mix {
+	return &Mix{
+		Name:         "shopping",
+		Interactions: append(readInteractions(15, 12, 12, 22, 5, 4), updateInteractions(11, 6, 2, 1)...),
+	}
+}
+
+// OrderingMix has ~50% update transactions — the paper's most
+// challenging mix for replication.
+func OrderingMix() *Mix {
+	return &Mix{
+		Name:         "ordering",
+		Interactions: append(readInteractions(10, 6, 6, 14, 3, 5), updateInteractions(24, 18, 5, 3)...),
+	}
+}
+
+// MixByName resolves a mix label.
+func MixByName(name string) (*Mix, error) {
+	switch name {
+	case "browsing":
+		return BrowsingMix(), nil
+	case "shopping":
+		return ShoppingMix(), nil
+	case "ordering":
+		return OrderingMix(), nil
+	default:
+		return nil, fmt.Errorf("tpcw: unknown mix %q", name)
+	}
+}
+
+// EB is one emulated browser: a closed-loop client with exponential
+// think time.
+type EB struct {
+	Mix       *Mix
+	Scale     Scale
+	ThinkTime time.Duration
+	// Retries bounds per-interaction retries after certification or
+	// early-certification aborts (the web tier would re-run the
+	// request).
+	Retries int
+}
+
+// Run drives the browser against the cluster until stop is closed.
+// It returns the number of completed interactions.
+func (e *EB) Run(c *cluster.Cluster, browserID int, stop <-chan struct{}) int {
+	s := c.SessionWithID(fmt.Sprintf("eb-%d", browserID))
+	defer s.Close()
+	x := NewCtx(e.Scale, browserID, int64(browserID)*2654435761+e.Scale.Seed)
+	completed := 0
+	for {
+		select {
+		case <-stop:
+			return completed
+		default:
+		}
+		in := e.Mix.pick(x)
+		err := in.Run(s, x)
+		for attempt := 0; err != nil && attempt < e.Retries && retryable(err); attempt++ {
+			err = in.Run(s, x)
+		}
+		if err == nil || errors.Is(err, ErrEmptyCart) {
+			completed++
+		}
+		if e.ThinkTime > 0 {
+			s.Think(e.ThinkTime)
+		}
+	}
+}
+
+// retryable reports whether the web tier would re-issue the request.
+func retryable(err error) bool {
+	return errors.Is(err, replica.ErrCertifyConflict) ||
+		errors.Is(err, replica.ErrEarlyAbort)
+}

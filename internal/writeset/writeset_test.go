@@ -1,0 +1,184 @@
+package writeset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ws(items ...Item) *WriteSet { return &WriteSet{Items: items} }
+
+func TestEmpty(t *testing.T) {
+	var w WriteSet
+	if !w.Empty() {
+		t.Fatal("zero WriteSet not empty")
+	}
+	if w.ConflictsWith(ws(Item{Table: "a", Key: "k"})) {
+		t.Fatal("empty writeset conflicts")
+	}
+	if got := w.String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTables(t *testing.T) {
+	w := ws(
+		Item{Table: "b", Key: "1", Op: OpUpdate},
+		Item{Table: "a", Key: "2", Op: OpInsert},
+		Item{Table: "b", Key: "3", Op: OpDelete},
+	)
+	got := w.Tables()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Tables = %v", got)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	a := ws(Item{Table: "t", Key: "1"}, Item{Table: "t", Key: "2"})
+	b := ws(Item{Table: "t", Key: "2"})
+	c := ws(Item{Table: "t", Key: "3"})
+	d := ws(Item{Table: "u", Key: "1"}) // same key, different table
+	if !a.ConflictsWith(b) || !b.ConflictsWith(a) {
+		t.Fatal("a/b should conflict")
+	}
+	if a.ConflictsWith(c) {
+		t.Fatal("a/c should not conflict")
+	}
+	if a.ConflictsWith(d) {
+		t.Fatal("same key in different tables must not conflict")
+	}
+}
+
+// TestRecordKeyInjective guards the table+NUL+key encoding against
+// ambiguity: distinct (table, key) pairs must never collide.
+func TestRecordKeyInjective(t *testing.T) {
+	a := ws(Item{Table: "ta", Key: "b\x00c"})
+	b := ws(Item{Table: "ta\x00b", Key: "c"})
+	// Tables may not contain NUL by contract, but even so the pairs
+	// ("ta", "b\x00c") and ("tab", "\x00c") must differ:
+	c := ws(Item{Table: "tab", Key: "\x00c"})
+	if a.ConflictsWith(c) {
+		t.Fatal("record keys collided across distinct tables")
+	}
+	_ = b
+}
+
+func TestClone(t *testing.T) {
+	orig := ws(Item{Table: "t", Key: "1", Op: OpUpdate, Row: []any{int64(1), "x"}})
+	cp := orig.Clone()
+	cp.Items[0].Row[1] = "mutated"
+	if orig.Items[0].Row[1] != "x" {
+		t.Fatal("Clone shares row storage with original")
+	}
+	var nilWS *WriteSet
+	if nilWS.Clone() != nil {
+		t.Fatal("Clone of nil != nil")
+	}
+}
+
+func TestIndexCertification(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(ws(Item{Table: "t", Key: "a"}), 5)
+	ix.Add(ws(Item{Table: "t", Key: "b"}), 8)
+
+	probe := ws(Item{Table: "t", Key: "a"})
+	if !ix.ConflictsAfter(probe, 4) {
+		t.Fatal("snapshot 4 should conflict with commit at 5")
+	}
+	if ix.ConflictsAfter(probe, 5) {
+		t.Fatal("snapshot 5 should not conflict with commit at 5")
+	}
+	if ix.ConflictsAfter(ws(Item{Table: "t", Key: "zzz"}), 0) {
+		t.Fatal("untouched record conflicts")
+	}
+}
+
+func TestIndexForget(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(ws(Item{Table: "t", Key: "a"}), 5)
+	ix.Add(ws(Item{Table: "t", Key: "b"}), 8)
+	ix.Forget(5)
+	if ix.Len() != 1 {
+		t.Fatalf("Len after Forget = %d, want 1", ix.Len())
+	}
+	if ix.ConflictsAfter(ws(Item{Table: "t", Key: "a"}), 0) {
+		t.Fatal("forgotten record still conflicts")
+	}
+	if !ix.ConflictsAfter(ws(Item{Table: "t", Key: "b"}), 0) {
+		t.Fatal("retained record lost")
+	}
+}
+
+func TestIndexKeepsLatestVersion(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(ws(Item{Table: "t", Key: "a"}), 5)
+	ix.Add(ws(Item{Table: "t", Key: "a"}), 9)
+	if ix.ConflictsAfter(ws(Item{Table: "t", Key: "a"}), 9) {
+		t.Fatal("snapshot at latest version should pass")
+	}
+	if !ix.ConflictsAfter(ws(Item{Table: "t", Key: "a"}), 8) {
+		t.Fatal("snapshot below latest version should fail")
+	}
+	// Re-adding at an older version must not regress the index.
+	ix.Add(ws(Item{Table: "t", Key: "a"}), 2)
+	if !ix.ConflictsAfter(ws(Item{Table: "t", Key: "a"}), 8) {
+		t.Fatal("older Add regressed the tracked version")
+	}
+}
+
+// TestQuickConflictSymmetry: ConflictsWith is symmetric and agrees with
+// a brute-force pairwise comparison.
+func TestQuickConflictSymmetry(t *testing.T) {
+	mk := func(keys []uint8) *WriteSet {
+		w := &WriteSet{}
+		for _, k := range keys {
+			w.Items = append(w.Items, Item{Table: "t", Key: string(rune('a' + k%16))})
+		}
+		return w
+	}
+	f := func(ka, kb []uint8) bool {
+		a, b := mk(ka), mk(kb)
+		want := false
+		for _, x := range a.Items {
+			for _, y := range b.Items {
+				if x.Table == y.Table && x.Key == y.Key {
+					want = true
+				}
+			}
+		}
+		return a.ConflictsWith(b) == want && b.ConflictsWith(a) == want
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIndexMatchesNaive: the incremental conflict index gives the
+// same certification answers as re-scanning the full history.
+func TestQuickIndexMatchesNaive(t *testing.T) {
+	type commit struct {
+		Key     uint8
+		Version uint64
+	}
+	f := func(commits []commit, probeKey uint8, snapshot uint64) bool {
+		ix := NewIndex()
+		snapshot %= 32
+		for i := range commits {
+			commits[i].Version %= 32
+			ix.Add(ws(Item{Table: "t", Key: string(rune('a' + commits[i].Key%8))}), commits[i].Version)
+		}
+		probe := ws(Item{Table: "t", Key: string(rune('a' + probeKey%8))})
+		want := false
+		for _, c := range commits {
+			if string(rune('a'+c.Key%8)) == probe.Items[0].Key && c.Version > snapshot {
+				want = true
+			}
+		}
+		return ix.ConflictsAfter(probe, snapshot) == want
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

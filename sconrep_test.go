@@ -1,0 +1,334 @@
+package sconrep
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTestDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if err := db.Bootstrap(func(b *Boot) error {
+		b.Exec(`CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance FLOAT)`)
+		b.Exec(`CREATE INDEX accounts_owner ON accounts (owner)`)
+		b.Exec(`INSERT INTO accounts VALUES (1, 'ann', 100.0), (2, 'bob', 50.0), (3, 'ann', 10.0)`)
+		return b.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Replicas() != 1 {
+		t.Fatalf("default replicas = %d", db.Replicas())
+	}
+	if db.Mode() != Eager {
+		t.Fatalf("default mode = %v", db.Mode())
+	}
+}
+
+func TestModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{Eager, Coarse, Fine, Session} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), back, err)
+		}
+	}
+	if Session.Strong() {
+		t.Error("Session marked strong")
+	}
+	if !Fine.Strong() {
+		t.Error("Fine not marked strong")
+	}
+}
+
+func TestBasicTransactions(t *testing.T) {
+	db := openTestDB(t, Config{Replicas: 3, Mode: Coarse})
+	s := db.Session()
+	defer s.Close()
+
+	tx, err := s.Begin("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Exec(`SELECT balance FROM accounts WHERE id = ?`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 100.0 {
+		t.Fatalf("balance = %v", res.Rows[0][0])
+	}
+	if _, err := tx.Exec(`UPDATE accounts SET balance = balance - 10 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE accounts SET balance = balance + 10 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another session must see the transfer (strong consistency).
+	s2 := db.Session()
+	defer s2.Close()
+	tx2, _ := s2.Begin("")
+	res, err = tx2.Exec(`SELECT SUM(balance) FROM accounts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 160.0 {
+		t.Fatalf("sum = %v, want 160", res.Rows[0][0])
+	}
+	one, err := tx2.Exec(`SELECT balance FROM accounts WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Rows[0][0].(float64) != 90.0 {
+		t.Fatalf("account 1 = %v, want 90", one.Rows[0][0])
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db := openTestDB(t, Config{Replicas: 2, Mode: Fine})
+	get := MustPrepare(`SELECT balance FROM accounts WHERE id = ?`)
+	upd := MustPrepare(`UPDATE accounts SET balance = ? WHERE id = ?`)
+	db.RegisterTxn("setBalance", get, upd)
+
+	if got := get.TableSet(); len(got) != 1 || got[0] != "accounts" {
+		t.Fatalf("TableSet = %v", got)
+	}
+	if !get.ReadOnly() || upd.ReadOnly() {
+		t.Fatal("ReadOnly flags wrong")
+	}
+
+	s := db.Session()
+	defer s.Close()
+	tx, err := s.Begin("setBalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Stmt(upd, 77.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ = s.Begin("setBalance")
+	res, err := tx.Stmt(get, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(float64) != 77.0 {
+		t.Fatalf("balance = %v", res.Rows[0][0])
+	}
+	_ = tx.Commit()
+}
+
+func TestMustPreparePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPrepare did not panic on bad SQL")
+		}
+	}()
+	MustPrepare(`NOT SQL AT ALL`)
+}
+
+func TestConflictErrIsRetryable(t *testing.T) {
+	db := openTestDB(t, Config{Replicas: 2, Mode: Coarse})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.SessionWithID(fmt.Sprintf("w%d", w))
+			defer s.Close()
+			for i := 0; i < 12; i++ {
+				tx, err := s.Begin("")
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if _, err := tx.Exec(`UPDATE accounts SET balance = balance + 1 WHERE id = 1`); err != nil {
+					tx.Abort()
+					errs <- err
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !IsRetryable(err) {
+			t.Fatalf("non-retryable contention error: %v", err)
+		}
+		if !errors.Is(err, ErrConflict) {
+			t.Fatalf("conflict not mapped to ErrConflict: %v", err)
+		}
+	}
+}
+
+func TestCrashRecoverThroughFacade(t *testing.T) {
+	db := openTestDB(t, Config{Replicas: 3, Mode: Coarse})
+	db.CrashReplica(2)
+	s := db.Session()
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		tx, err := s.Begin("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec(`UPDATE accounts SET balance = balance + 1 WHERE id = 2`); err != nil {
+			tx.Abort()
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil && !IsRetryable(err) {
+			t.Fatal(err)
+		}
+	}
+	if err := db.RecoverReplica(2); err != nil {
+		t.Fatal(err)
+	}
+	// Eventually the replica catches up.
+	target := db.ReplicaVersion(0)
+	for tries := 0; db.ReplicaVersion(2) < target; tries++ {
+		if tries > 5000 {
+			t.Fatalf("replica 2 stuck at %d < %d", db.ReplicaVersion(2), target)
+		}
+	}
+}
+
+func TestStatsAndVacuum(t *testing.T) {
+	db := openTestDB(t, Config{Replicas: 2, Mode: Session})
+	s := db.Session()
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		tx, _ := s.Begin("")
+		if _, err := tx.Exec(`UPDATE accounts SET balance = balance + 1 WHERE id = 3`); err != nil {
+			tx.Abort()
+			continue
+		}
+		_ = tx.Commit()
+	}
+	st := db.Stats()
+	if st.Committed == 0 || st.Updates == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	db.Vacuum()
+	tx, _ := s.Begin("")
+	if _, err := tx.Exec(`SELECT * FROM accounts`); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Commit()
+}
+
+func TestConsistencyCheckers(t *testing.T) {
+	db := openTestDB(t, Config{Replicas: 2, Mode: Coarse, RecordHistory: true})
+	s := db.Session()
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		tx, _ := s.Begin("")
+		if _, err := tx.Exec(`UPDATE accounts SET balance = balance + 1 WHERE id = 1`); err != nil {
+			tx.Abort()
+			continue
+		}
+		_ = tx.Commit()
+	}
+	v, err := db.CheckConsistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("violations under CSC: %v", v)
+	}
+	if _, err := db.CheckSessionConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without history recording, the checkers refuse.
+	db2 := openTestDB(t, Config{Replicas: 1})
+	if _, err := db2.CheckConsistency(); err == nil {
+		t.Fatal("checker ran without history")
+	}
+}
+
+func TestWALBackedOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.wal")
+	db, err := Open(Config{Replicas: 2, Mode: Coarse, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Bootstrap(func(b *Boot) error {
+		b.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+		b.Exec(`INSERT INTO t VALUES (1, 0)`)
+		return b.Err()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	tx, _ := s.Begin("")
+	if _, err := tx.Exec(`UPDATE t SET v = 9 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	db, err := Open(Config{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	err = db.Bootstrap(func(b *Boot) error {
+		b.Exec(`CREATE GARBAGE`)
+		b.Exec(`this never runs`)
+		return b.Err()
+	})
+	if err == nil {
+		t.Fatal("bad bootstrap accepted")
+	}
+}
+
+func TestBeginUnknownTxnNameUnderFine(t *testing.T) {
+	db := openTestDB(t, Config{Replicas: 2, Mode: Fine, RecordHistory: true})
+	s := db.Session()
+	defer s.Close()
+	// Unregistered name: must degrade to coarse, never lose strong
+	// consistency.
+	tx, err := s.Begin("never-registered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`SELECT COUNT(*) FROM accounts`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
