@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench sweep examples clean
+.PHONY: all build test race vet ci bench sweep examples clean
 
 all: build test
 
@@ -18,6 +18,16 @@ race:
 vet:
 	$(GO) vet ./...
 	gofmt -l .
+
+# The same gate CI runs (.github/workflows/ci.yml): build, vet,
+# formatting (fails on any unformatted file), tests, race tests.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) test ./...
+	$(GO) test -race ./internal/...
 
 # Smoke-sized benchmarks: one per paper table/figure, plus module
 # micro-benchmarks.

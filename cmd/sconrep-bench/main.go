@@ -21,9 +21,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sconrep/internal/bench"
+	"sconrep/internal/cluster"
+	"sconrep/internal/obs"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 	mixesFlag := flag.String("mixes", "", "comma-separated TPC-W mixes (default all)")
 	replicasFlag := flag.String("replicas", "", "comma-separated replica counts (default 1,2,4,6,8)")
 	ratiosFlag := flag.String("ratios", "", "comma-separated micro update ratios (default 0,10,25,50,75,100)")
+	obsAddr := flag.String("obs", "", "observability listen address: watch the sweep live via /metrics, /healthz, /traces, /snapshot, /debug/pprof")
 	flag.Parse()
 
 	prof := bench.Full()
@@ -45,6 +49,9 @@ func main() {
 	}
 	if *measure > 0 {
 		prof.Measure = *measure
+	}
+	if *obsAddr != "" {
+		prof = withObs(prof, *obsAddr)
 	}
 
 	var mixes []string
@@ -107,6 +114,41 @@ func main() {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
 	fmt.Fprintf(w, "total: %s\n", time.Since(start).Round(time.Second))
+}
+
+// withObs attaches a live observability endpoint to the sweep: every
+// point's cluster re-registers its instruments with one registry, so
+// /metrics always describes the point currently running, /traces holds
+// the most recent transaction timelines, and /snapshot serves the live
+// collector snapshot in the metrics.Snapshot JSON format.
+func withObs(prof bench.Profile, addr string) bench.Profile {
+	prof.Obs = obs.NewRegistry()
+	prof.Traces = obs.NewTraceRecorder(1024)
+	var cur atomic.Pointer[cluster.Cluster]
+	prof.OnCluster = func(c *cluster.Cluster) { cur.Store(c) }
+	srv, err := obs.Serve(addr, obs.Options{
+		Registry: prof.Obs,
+		Traces:   prof.Traces,
+		Health: func() obs.Health {
+			return obs.Health{Ready: cur.Load() != nil, Role: "bench", Detail: map[string]any{
+				"running": cur.Load() != nil,
+			}}
+		},
+		JSON: map[string]func() any{
+			"/snapshot": func() any {
+				c := cur.Load()
+				if c == nil {
+					return map[string]any{"running": false}
+				}
+				return c.Collector().Snapshot()
+			},
+		},
+	})
+	if err != nil {
+		log.Fatalf("obs: %v", err)
+	}
+	log.Printf("bench observability on http://%s (/metrics /healthz /traces /snapshot /debug/pprof)", srv.Addr())
+	return prof
 }
 
 func parseInts(s string) ([]int, error) {

@@ -26,6 +26,7 @@ import (
 
 	"sconrep/internal/certifier"
 	"sconrep/internal/core"
+	"sconrep/internal/obs"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
@@ -45,15 +46,17 @@ func main() {
 	connect := flag.String("connect", "", "gateway address (client role)")
 	session := flag.String("session", "cli", "session id (client role)")
 	eager := flag.Bool("eager", false, "enable eager global-commit tracking (certifier role; required when the gateway runs -mode ESC)")
+	obsAddr := flag.String("obs", "", "observability listen address (server roles): serves /metrics, /healthz, /traces, /debug/pprof")
+	obsMaxLag := flag.Uint64("obs-maxlag", 100, "replica /healthz reports unready when certifier version - Vlocal exceeds this")
 	flag.Parse()
 
 	switch *role {
 	case "certifier":
-		runCertifier(*listen, *walPath, *eager)
+		runCertifier(*listen, *walPath, *eager, *obsAddr)
 	case "replica":
-		runReplica(*listen, *id, *certAddr, *bootstrap)
+		runReplica(*listen, *id, *certAddr, *bootstrap, *obsAddr, *obsMaxLag)
 	case "gateway":
-		runGateway(*listen, *modeFlag, *replicasFlag)
+		runGateway(*listen, *modeFlag, *replicasFlag, *obsAddr)
 	case "client":
 		runClient(*connect, *session)
 	default:
@@ -61,7 +64,17 @@ func main() {
 	}
 }
 
-func runCertifier(listen, walPath string, eager bool) {
+// serveObs starts the observability endpoint, fatally on bind errors
+// (a requested but unserved endpoint is worse than no endpoint).
+func serveObs(addr, role string, o obs.Options) {
+	srv, err := obs.Serve(addr, o)
+	if err != nil {
+		log.Fatalf("obs: %v", err)
+	}
+	log.Printf("%s observability on http://%s (/metrics /healthz /traces /debug/pprof)", role, srv.Addr())
+}
+
+func runCertifier(listen, walPath string, eager bool, obsAddr string) {
 	var opts []certifier.Option
 	if walPath != "" {
 		// Recover prior decisions, then append to the same log.
@@ -87,25 +100,39 @@ func runCertifier(listen, walPath string, eager bool) {
 		}); err != nil {
 			log.Fatalf("wal replay: %v", err)
 		}
-		serveCertifier(cert, listen)
+		serveCertifier(cert, listen, obsAddr)
 		return
 	}
 	if eager {
 		opts = append(opts, certifier.WithEager())
 	}
-	serveCertifier(certifier.New(opts...), listen)
+	serveCertifier(certifier.New(opts...), listen, obsAddr)
 }
 
-func serveCertifier(cert *certifier.Certifier, listen string) {
+func serveCertifier(cert *certifier.Certifier, listen, obsAddr string) {
 	srv, err := wire.ServeCertifier(cert, listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		cert.EnableObs(reg)
+		srv.EnableObs(reg)
+		serveObs(obsAddr, "certifier", obs.Options{
+			Registry: reg,
+			Health: func() obs.Health {
+				return obs.Health{Ready: true, Role: "certifier", Detail: map[string]any{
+					"version":  cert.Version(),
+					"replicas": len(cert.Replicas()),
+				}}
+			},
+		})
 	}
 	log.Printf("certifier serving on %s (version %d)", srv.Addr(), cert.Version())
 	select {}
 }
 
-func runReplica(listen string, id int, certAddr, bootstrap string) {
+func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxLag uint64) {
 	if certAddr == "" {
 		log.Fatal("replica role requires -certifier")
 	}
@@ -120,6 +147,39 @@ func runReplica(listen string, id int, certAddr, bootstrap string) {
 	srv, err := wire.ServeReplica(rep, listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		tr := obs.NewTraceRecorder(512)
+		rep.EnableObs(reg, tr)
+		srv.EnableObs(reg)
+		serveObs(obsAddr, "replica", obs.Options{
+			Registry: reg,
+			Traces:   tr,
+			// Readiness is replication lag: how far Vlocal trails the
+			// certifier's latest assigned version. A crashed replica or
+			// one lagging more than maxLag versions is unready.
+			Health: func() obs.Health {
+				vlocal := rep.Version()
+				detail := map[string]any{"replica": id, "vlocal": vlocal, "crashed": rep.Crashed()}
+				ready := !rep.Crashed()
+				if cv, err := cc.Version(); err != nil {
+					detail["certifier_error"] = err.Error()
+					ready = false
+				} else {
+					lag := int64(0)
+					if cv > vlocal {
+						lag = int64(cv - vlocal)
+					}
+					detail["certifier_version"] = cv
+					detail["lag"] = lag
+					if lag > int64(maxLag) {
+						ready = false
+					}
+				}
+				return obs.Health{Ready: ready, Role: "replica", Detail: detail}
+			},
+		})
 	}
 	log.Printf("replica %d serving on %s (bootstrapped at version %d)", id, srv.Addr(), eng.Version())
 	select {}
@@ -148,7 +208,7 @@ func loadBootstrap(eng *storage.Engine, path string) error {
 	return nil
 }
 
-func runGateway(listen, modeFlag, replicasFlag string) {
+func runGateway(listen, modeFlag, replicasFlag, obsAddr string) {
 	mode, err := core.ParseMode(modeFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -160,6 +220,23 @@ func runGateway(listen, modeFlag, replicasFlag string) {
 	gw, err := wire.ServeGateway(listen, mode, addrs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		gw.EnableObs(reg)
+		serveObs(obsAddr, "gateway", obs.Options{
+			Registry: reg,
+			// The gateway is ready while it has at least one live
+			// replica to route to.
+			Health: func() obs.Health {
+				live := gw.Balancer().LiveReplicas()
+				return obs.Health{Ready: live > 0, Role: "gateway", Detail: map[string]any{
+					"mode":          mode.String(),
+					"live_replicas": live,
+					"replicas":      len(addrs),
+				}}
+			},
+		})
 	}
 	log.Printf("gateway serving on %s, mode %s, %d replicas", gw.Addr(), mode, len(addrs))
 	select {}

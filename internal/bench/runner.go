@@ -18,6 +18,7 @@ import (
 	"sconrep/internal/history"
 	"sconrep/internal/latency"
 	"sconrep/internal/metrics"
+	"sconrep/internal/obs"
 	"sconrep/internal/storage"
 	"sconrep/internal/workload/micro"
 	"sconrep/internal/workload/tpcw"
@@ -33,6 +34,17 @@ type Profile struct {
 	// CheckHistory runs the strong/session-consistency checkers on
 	// every point and fails loudly on violations.
 	CheckHistory bool
+	// Obs, when non-nil, attaches every point's cluster to this live
+	// metrics registry (the sweep becomes watchable over HTTP); Traces
+	// additionally records per-transaction timelines. Instruments are
+	// re-registered per point, so gauges always describe the cluster
+	// currently running.
+	Obs    *obs.Registry
+	Traces *obs.TraceRecorder
+	// OnCluster, when non-nil, is called with each point's cluster
+	// right before clients start — the bench server uses it to expose
+	// the live collector snapshot.
+	OnCluster func(*cluster.Cluster)
 }
 
 // Full is the profile used by cmd/sconrep-bench. Scale is 1.0 (paper
@@ -96,6 +108,10 @@ func Run(p Point, prof Profile) (Result, error) {
 		return Result{}, err
 	}
 	defer c.Close()
+	c.EnableObs(prof.Obs, prof.Traces)
+	if prof.OnCluster != nil {
+		prof.OnCluster(c)
+	}
 
 	switch p.Workload {
 	case "micro":

@@ -12,9 +12,11 @@ package certifier
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"sconrep/internal/latency"
+	"sconrep/internal/obs"
 	"sconrep/internal/wal"
 	"sconrep/internal/writeset"
 )
@@ -68,6 +70,11 @@ type Certifier struct {
 	// eager mode bookkeeping: per-version apply counters.
 	eager bool
 	waits map[uint64]*eagerWait
+
+	// Live-observability counters (nil-safe no-ops until EnableObs).
+	obsCommits *obs.Counter
+	obsAborts  *obs.Counter
+	obsTooOld  *obs.Counter
 }
 
 // Option configures a Certifier.
@@ -171,6 +178,63 @@ func (s *Subscription) Pending() []Refresh { return s.mb.peekPending() }
 // QueueLen returns the number of queued refreshes.
 func (s *Subscription) QueueLen() int { return s.mb.len() }
 
+// EnableObs registers the certifier's live metrics with reg: the
+// version counter (Vsystem as the certifier sees it), certification
+// and conflict rates, group-log backlog, per-replica mailbox depth,
+// and outstanding eager global-commit waits. Call once, before
+// serving traffic.
+func (c *Certifier) EnableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	c.obsCommits = reg.Counter("sconrep_certifier_commits_total",
+		"Update transactions certified and committed.")
+	c.obsAborts = reg.Counter("sconrep_certifier_conflicts_total",
+		"Update transactions rejected by the first-committer-wins test.")
+	c.obsTooOld = reg.Counter("sconrep_certifier_snapshot_too_old_total",
+		"Transactions rejected because their snapshot predates the trimmed conflict window.")
+	c.mu.Unlock()
+	reg.GaugeFunc("sconrep_certifier_version",
+		"Latest assigned commit version (the system-wide Vsystem source).",
+		func() float64 { return float64(c.Version()) })
+	reg.GaugeFunc("sconrep_certifier_group_log_pending",
+		"Decision-log records enqueued for the group-commit flush but not yet durable.",
+		func() float64 { return float64(c.glog.pendingLen()) })
+	reg.GaugeFunc("sconrep_certifier_eager_outstanding",
+		"Committed versions still waiting for every replica's apply acknowledgment (eager mode).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.waits))
+		})
+	reg.GaugeFunc("sconrep_certifier_history_len",
+		"Refresh history entries retained for recovery catch-up (trimmed by TrimBelow).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.history))
+		})
+	reg.GaugeFunc("sconrep_certifier_subscribed_replicas",
+		"Replicas currently attached to the refresh stream.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.subs))
+		})
+	reg.GaugeVecFunc("sconrep_certifier_mailbox_depth",
+		"Refresh writesets queued per replica mailbox, not yet taken by its applier.",
+		"replica", func() map[string]float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			out := make(map[string]float64, len(c.subs))
+			for id, mb := range c.subs {
+				out[strconv.Itoa(id)] = float64(mb.len())
+			}
+			return out
+		})
+}
+
 // Certify decides one update transaction: it commits iff its writeset
 // does not conflict with any writeset committed after the
 // transaction's snapshot (the GSI first-committer-wins test, §IV).
@@ -182,13 +246,16 @@ func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.Wri
 	}
 	c.mu.Lock()
 	if snapshot < c.floor {
+		c.obsTooOld.Inc()
 		c.mu.Unlock()
 		return Decision{}, ErrSnapshotTooOld
 	}
 	if c.index.ConflictsAfter(ws, snapshot) {
+		c.obsAborts.Inc()
 		c.mu.Unlock()
 		return Decision{Commit: false}, nil
 	}
+	c.obsCommits.Inc()
 	c.version++
 	v := c.version
 	cp := ws.Clone()

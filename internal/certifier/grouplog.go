@@ -28,6 +28,14 @@ type groupLog struct {
 	err      error // first durable-write failure; fatal for the log
 }
 
+// pendingLen reports how many records await the group-commit flush —
+// the observability layer's group-log backlog gauge.
+func (g *groupLog) pendingLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
 // startAt moves the log cursor for a certifier bootstrapped at v.
 func (g *groupLog) startAt(v uint64) {
 	g.mu.Lock()

@@ -22,6 +22,7 @@ import (
 	"sconrep/internal/latency"
 	"sconrep/internal/lb"
 	"sconrep/internal/metrics"
+	"sconrep/internal/obs"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
@@ -143,6 +144,22 @@ func (c *Cluster) RegisterTxn(name string, stmts ...*sql.Prepared) {
 		}
 	}
 	c.balancer.RegisterTxn(name, tables)
+}
+
+// EnableObs attaches the whole cluster — certifier, every replica,
+// and the load balancer — to a live metrics registry, and (when tr is
+// non-nil) records per-transaction timeline traces. Call after New and
+// before serving traffic; a nil registry is a no-op, leaving the
+// hot paths with their zero-cost nil guards.
+func (c *Cluster) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
+	if reg == nil {
+		return
+	}
+	c.cert.EnableObs(reg)
+	for _, r := range c.replicas {
+		r.EnableObs(reg, tr)
+	}
+	c.balancer.EnableObs(reg)
 }
 
 // Mode returns the consistency configuration.

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"sconrep/internal/core"
+	"sconrep/internal/metrics"
+	"sconrep/internal/obs"
+)
+
+// TestClusterObservability drives an instrumented FSC cluster and
+// checks the exposition end-to-end: the replica gauges named by the
+// paper's version accounting (Vlocal, per-table Vt, refresh backlog),
+// the Figure 6 sync-delay histogram, certifier/LB counters, and at
+// least one complete per-transaction trace in §V-A stage order.
+func TestClusterObservability(t *testing.T) {
+	c := newCluster(t, Config{Replicas: 3, Mode: core.Fine, Seed: 21})
+	reg := obs.NewRegistry()
+	tr := obs.NewTraceRecorder(256)
+	c.EnableObs(reg, tr)
+
+	runMixedLoad(t, c, 4, 20)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+
+	for _, want := range []string{
+		"sconrep_replica_applied_version{replica=\"0\"}",
+		"sconrep_replica_table_version{replica=\"0\",table=\"counter\"}",
+		"sconrep_replica_refresh_queue_depth{replica=\"0\"}",
+		"sconrep_sync_delay_seconds_bucket{replica=\"0\",le=\"+Inf\"}",
+		"sconrep_sync_delay_seconds_count{replica=\"0\"}",
+		"sconrep_replica_commits_total",
+		"sconrep_certifier_version",
+		"sconrep_certifier_commits_total",
+		"sconrep_lb_routed_total",
+		"sconrep_lb_vsystem",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("exposition:\n%s", text)
+	}
+
+	// Vlocal on every replica must have advanced past the bootstrap
+	// version: the load committed updates and FSC refreshes them.
+	for i := 0; i < c.NumReplicas(); i++ {
+		if v := c.Replica(i).Version(); v == 0 {
+			t.Errorf("replica %d: Vlocal still 0 after load", i)
+		}
+	}
+
+	traces := tr.Recent(0)
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded")
+	}
+
+	// Stage order within a trace must follow §V-A: Version ≤ Queries ≤
+	// Certify ≤ Sync ≤ Commit ≤ Global (each stage optional, but never
+	// out of order), with non-overlapping spans.
+	rank := map[string]int{}
+	for i, s := range metrics.Stages {
+		rank[s.String()] = i
+	}
+	sawCommitted := false
+	for _, trc := range traces {
+		if trc.Outcome == "commit" && !trc.ReadOnly && trc.CommitVersion > 0 {
+			sawCommitted = true
+		}
+		prevRank, prevEnd := -1, int64(0)
+		for _, sp := range trc.Stages {
+			r, ok := rank[sp.Stage]
+			if !ok {
+				t.Fatalf("txn %d: unknown stage %q", trc.TxnID, sp.Stage)
+			}
+			if r < prevRank {
+				t.Fatalf("txn %d: stage %s out of §V-A order in %v", trc.TxnID, sp.Stage, trc.Stages)
+			}
+			if sp.StartUs < prevEnd {
+				t.Fatalf("txn %d: stage %s overlaps previous span in %v", trc.TxnID, sp.Stage, trc.Stages)
+			}
+			prevRank, prevEnd = r, sp.StartUs+sp.DurationUs
+		}
+	}
+	if !sawCommitted {
+		t.Fatal("no committed update transaction among recorded traces")
+	}
+}
+
+// TestClusterObsDisabledIsFree: without EnableObs, the replica's obs
+// pointer stays nil and every hook is a no-op — the cluster behaves
+// identically and no instruments exist to scrape.
+func TestClusterObsDisabledIsFree(t *testing.T) {
+	c := newCluster(t, Config{Replicas: 2, Mode: core.Coarse, Seed: 22})
+	s := c.NewSession()
+	for i := 0; i < 5; i++ {
+		tx := mustBegin(t, s, "bumpCounter")
+		if _, err := tx.Exec(bumpCounter, int64(i)); err != nil {
+			tx.Abort()
+			continue
+		}
+		if _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	obs.NewRegistry().WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("fresh registry not empty: %q", sb.String())
+	}
+}

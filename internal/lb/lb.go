@@ -13,9 +13,11 @@ package lb
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 
 	"sconrep/internal/core"
+	"sconrep/internal/obs"
 	"sconrep/internal/replica"
 )
 
@@ -41,6 +43,11 @@ type LoadBalancer struct {
 	// rr breaks ties among equally loaded replicas so a idle cluster
 	// still spreads sessions.
 	rr int
+
+	// Live-observability instruments (nil-safe no-ops until EnableObs).
+	obsRouted   *obs.CounterVec
+	obsNoLive   *obs.Counter
+	obsDegraded *obs.Counter
 }
 
 // New returns a balancer over the given replicas.
@@ -69,6 +76,40 @@ func (l *LoadBalancer) Registry() *core.TableSetRegistry { return l.registry }
 // dictionary warm).
 func (l *LoadBalancer) RegisterTxn(name string, tableSet []string) {
 	l.registry.Register(name, tableSet)
+}
+
+// EnableObs registers the balancer's live metrics with reg:
+// per-replica routing counts, live-replica count, and the version
+// accounting (Vsystem, per-table Vt) the consistency modes tag
+// transactions with. Call once, before serving traffic.
+func (l *LoadBalancer) EnableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l.mu.Lock()
+	l.obsRouted = reg.CounterVec("sconrep_lb_routed_total",
+		"Transactions dispatched, by destination replica.", "replica")
+	l.obsNoLive = reg.Counter("sconrep_lb_no_live_replicas_total",
+		"Dispatch attempts that failed because every replica was crashed.")
+	l.obsDegraded = reg.Counter("sconrep_lb_fine_degraded_total",
+		"Fine-grained dispatches degraded to coarse because the transaction name was unregistered (§V-D).")
+	l.mu.Unlock()
+	reg.GaugeFunc("sconrep_lb_live_replicas",
+		"Replicas currently considered live for routing.",
+		func() float64 { return float64(l.LiveReplicas()) })
+	reg.GaugeFunc("sconrep_lb_vsystem",
+		"Vsystem: the newest commit version the balancer has observed.",
+		func() float64 { return float64(l.tracker.VSystem()) })
+	reg.GaugeVecFunc("sconrep_lb_table_version",
+		"Vt per table as tracked by the balancer (fine-grained start bound).",
+		"table", func() map[string]float64 {
+			_, tables := l.tracker.Snapshot()
+			out := make(map[string]float64, len(tables))
+			for tab, v := range tables {
+				out[tab] = float64(v)
+			}
+			return out
+		})
 }
 
 // AddNode attaches a replica to the routing set.
@@ -106,8 +147,10 @@ func (l *LoadBalancer) pick() (Node, error) {
 	l.rr++
 	l.mu.Unlock()
 	if best == nil {
+		l.obsNoLive.Inc()
 		return nil, ErrNoReplicas
 	}
+	l.obsRouted.With(strconv.Itoa(best.ID())).Inc()
 	return best, nil
 }
 
@@ -129,6 +172,7 @@ func (l *LoadBalancer) Dispatch(sessionID, txnName string) (Route, error) {
 		ts, ok := l.registry.Lookup(txnName)
 		if !ok {
 			// Unknown workload: degrade to coarse, never to weaker.
+			l.obsDegraded.Inc()
 			return Route{Node: best, MinVersion: l.tracker.MinStartVersion(core.Coarse, nil, sessionID)}, nil
 		}
 		return Route{Node: best, MinVersion: l.tracker.MinStartVersion(core.Fine, ts, sessionID)}, nil

@@ -5,7 +5,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -57,10 +59,20 @@ func (s Stage) String() string {
 	}
 }
 
-// TxnTimer accumulates one transaction's stage durations. It is not
-// safe for concurrent use; each in-flight transaction owns one.
+// Span is one timed visit to a stage, in wall-clock order. A stage
+// revisited later in the transaction produces a second span.
+type Span struct {
+	Stage Stage
+	Start time.Time
+	End   time.Time
+}
+
+// TxnTimer accumulates one transaction's stage durations and the
+// ordered span timeline (for trace recording). It is not safe for
+// concurrent use; each in-flight transaction owns one.
 type TxnTimer struct {
 	stages  [numStages]time.Duration
+	spans   []Span
 	started time.Time
 	current Stage
 	running bool
@@ -74,6 +86,7 @@ func (t *TxnTimer) Start(s Stage) {
 	now := time.Now()
 	if t.running {
 		t.stages[t.current] += now.Sub(t.started)
+		t.spans = append(t.spans, Span{Stage: t.current, Start: t.started, End: now})
 	}
 	t.current = s
 	t.started = now
@@ -83,10 +96,17 @@ func (t *TxnTimer) Start(s Stage) {
 // Stop ends the running stage.
 func (t *TxnTimer) Stop() {
 	if t.running {
-		t.stages[t.current] += time.Since(t.started)
+		now := time.Now()
+		t.stages[t.current] += now.Sub(t.started)
+		t.spans = append(t.spans, Span{Stage: t.current, Start: t.started, End: now})
 		t.running = false
 	}
 }
+
+// Spans returns the completed stage visits in wall-clock order. The
+// currently running stage (if any) is not included; call Stop first
+// for a complete timeline.
+func (t *TxnTimer) Spans() []Span { return t.spans }
 
 // Stage returns the accumulated duration of one stage.
 func (t *TxnTimer) Stage(s Stage) time.Duration { return t.stages[s] }
@@ -184,7 +204,9 @@ type Snapshot struct {
 	StageMeans map[Stage]time.Duration
 }
 
-// Snapshot summarizes and (optionally) ends the measurement interval.
+// Snapshot summarizes the measurement interval so far. It does not
+// end the interval: collection continues and later snapshots cover a
+// longer elapsed time.
 func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -227,6 +249,41 @@ func (s Snapshot) String() string {
 		s.MeanSync.Round(time.Microsecond), s.Committed, s.Aborted)
 }
 
+// MarshalJSON renders the snapshot in the machine-readable format
+// shared by sconrep-bench and the obs /snapshot endpoint: stage means
+// keyed by stage name, all durations in microseconds.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	stages := make(map[string]int64, len(s.StageMeans))
+	for st, d := range s.StageMeans {
+		stages[st.String()] = d.Microseconds()
+	}
+	return json.Marshal(struct {
+		ElapsedUs      int64            `json:"elapsed_us"`
+		Committed      int64            `json:"committed"`
+		Aborted        int64            `json:"aborted"`
+		ReadOnly       int64            `json:"read_only"`
+		Updates        int64            `json:"updates"`
+		TPS            float64          `json:"tps"`
+		AbortRate      float64          `json:"abort_rate"`
+		MeanResponseUs int64            `json:"mean_response_us"`
+		P95ResponseUs  int64            `json:"p95_response_us"`
+		MeanSyncUs     int64            `json:"mean_sync_us"`
+		StageMeansUs   map[string]int64 `json:"stage_means_us"`
+	}{
+		ElapsedUs:      s.Elapsed.Microseconds(),
+		Committed:      s.Committed,
+		Aborted:        s.Aborted,
+		ReadOnly:       s.ReadOnly,
+		Updates:        s.Updates,
+		TPS:            s.TPS,
+		AbortRate:      s.AbortRate(),
+		MeanResponseUs: s.MeanResponse.Microseconds(),
+		P95ResponseUs:  s.P95Response.Microseconds(),
+		MeanSyncUs:     s.MeanSync.Microseconds(),
+		StageMeansUs:   stages,
+	})
+}
+
 // BreakdownRow renders the Figure-4 style stage breakdown.
 func (s Snapshot) BreakdownRow() string {
 	var b strings.Builder
@@ -267,12 +324,23 @@ func (h *durationHist) mean() time.Duration {
 	return h.sum / time.Duration(h.n)
 }
 
+// percentile uses the nearest-rank method: the smallest sample such
+// that at least p of the samples are ≤ it. Flooring the index (the
+// previous int(p*(n-1)) formula) under-reports high percentiles on
+// small sample sets — with 10 samples it returned the 9th for p95
+// instead of the 10th.
 func (h *durationHist) percentile(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), h.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p * float64(len(sorted)-1))
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
 	return sorted[idx]
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -124,6 +125,155 @@ func TestPercentile(t *testing.T) {
 	s := c.Snapshot()
 	if s.P95Response < 90*time.Millisecond || s.P95Response > 100*time.Millisecond {
 		t.Fatalf("p95 = %v", s.P95Response)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// 10 samples of 1..10ms: nearest-rank p95 is the 10th value. The
+	// old floored-index formula returned the 9th.
+	c := NewCollector()
+	tm := NewTxnTimer()
+	for i := 1; i <= 10; i++ {
+		c.RecordCommit(tm, false, time.Duration(i)*time.Millisecond, 0)
+	}
+	if got := c.Snapshot().P95Response; got != 10*time.Millisecond {
+		t.Fatalf("p95 of 10 samples = %v, want 10ms", got)
+	}
+	// p50 of [1..10] is the 5th value; p100 is the max; tiny p clamps
+	// to the minimum.
+	h := &durationHist{}
+	for i := 1; i <= 10; i++ {
+		h.add(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.percentile(0.5); got != 5*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.percentile(1.0); got != 10*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.percentile(0.001); got != time.Millisecond {
+		t.Fatalf("p0.1 = %v", got)
+	}
+}
+
+func TestSnapshotMarshalJSON(t *testing.T) {
+	c := NewCollector()
+	tm := NewTxnTimer()
+	tm.Start(StageQueries)
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	c.RecordCommit(tm, true, 10*time.Millisecond, 3*time.Millisecond)
+	data, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Committed    int64            `json:"committed"`
+		TPS          float64          `json:"tps"`
+		MeanResponse int64            `json:"mean_response_us"`
+		MeanSync     int64            `json:"mean_sync_us"`
+		Stages       map[string]int64 `json:"stage_means_us"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("round trip: %v (%s)", err, data)
+	}
+	if parsed.Committed != 1 || parsed.TPS <= 0 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if parsed.MeanResponse != 10000 || parsed.MeanSync != 3000 {
+		t.Fatalf("durations not in microseconds: %+v", parsed)
+	}
+	if parsed.Stages["Queries"] < 1000 {
+		t.Fatalf("stage means = %v", parsed.Stages)
+	}
+	if _, ok := parsed.Stages["Global"]; !ok {
+		t.Fatalf("stage means missing zero stages: %v", parsed.Stages)
+	}
+}
+
+func TestTimerSpans(t *testing.T) {
+	tm := NewTxnTimer()
+	tm.Start(StageVersion)
+	tm.Start(StageQueries)
+	tm.Start(StageCertify)
+	tm.Stop()
+	spans := tm.Spans()
+	want := []Stage{StageVersion, StageQueries, StageCertify}
+	if len(spans) != len(want) {
+		t.Fatalf("spans = %d, want %d", len(spans), len(want))
+	}
+	for i, sp := range spans {
+		if sp.Stage != want[i] {
+			t.Fatalf("span %d stage = %v, want %v", i, sp.Stage, want[i])
+		}
+		if sp.End.Before(sp.Start) {
+			t.Fatalf("span %d ends before it starts", i)
+		}
+		if i > 0 && spans[i].Start.Before(spans[i-1].End) {
+			t.Fatalf("span %d overlaps predecessor", i)
+		}
+	}
+}
+
+func TestReservoirPastMaxSamples(t *testing.T) {
+	h := &durationHist{}
+	n := maxSamples + 4096
+	for i := 1; i <= n; i++ {
+		h.add(time.Duration(i) * time.Microsecond)
+	}
+	if h.n != int64(n) {
+		t.Fatalf("n = %d, want %d", h.n, n)
+	}
+	if len(h.samples) != maxSamples {
+		t.Fatalf("reservoir grew past bound: %d", len(h.samples))
+	}
+	// Mean uses every observation, not just the reservoir.
+	wantMean := time.Duration(n+1) * time.Microsecond / 2
+	if got := h.mean(); got != wantMean {
+		t.Fatalf("mean = %v, want %v", got, wantMean)
+	}
+	// The reservoir keeps every k-th late sample, so it still spans
+	// the whole distribution: p95 must land near the top of the range,
+	// not collapse to the early prefix.
+	p95 := h.percentile(0.95)
+	lo := time.Duration(maxSamples*9/10) * time.Microsecond
+	hi := time.Duration(n) * time.Microsecond
+	if p95 < lo || p95 > hi {
+		t.Fatalf("p95 = %v, want in [%v, %v]", p95, lo, hi)
+	}
+}
+
+func TestCollectorConcurrentHammer(t *testing.T) {
+	// Race-clean under -race: commits, aborts, resets, and snapshots
+	// from many goroutines.
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tm := NewTxnTimer()
+			tm.Start(StageQueries)
+			tm.Stop()
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0, 1:
+					c.RecordCommit(tm, i%2 == 0, time.Duration(i)*time.Microsecond, 0)
+				case 2:
+					c.RecordAbort()
+				case 3:
+					s := c.Snapshot()
+					if s.Committed < 0 || s.Aborted < 0 {
+						t.Errorf("negative snapshot: %+v", s)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Committed != 8*250 || s.Aborted != 8*125 {
+		t.Fatalf("committed=%d aborted=%d", s.Committed, s.Aborted)
 	}
 }
 

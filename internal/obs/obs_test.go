@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("txns_total", "transactions", "replica", "0")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("version", "vlocal", func() float64 { return 42 })
+
+	out := scrape(t, r)
+	for _, want := range []string{
+		"# TYPE txns_total counter",
+		`txns_total{replica="0"} 3`,
+		"# HELP depth queue depth",
+		"depth 5",
+		"version 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("routed_total", "routes", "replica")
+	v.With("0").Inc()
+	v.With("1").Add(5)
+	v.With("0").Inc()
+	out := scrape(t, r)
+	if !strings.Contains(out, `routed_total{replica="0"} 2`) || !strings.Contains(out, `routed_total{replica="1"} 5`) {
+		t.Fatalf("counter vec exposition:\n%s", out)
+	}
+	// TYPE appears exactly once per family.
+	if strings.Count(out, "# TYPE routed_total") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", out)
+	}
+}
+
+func TestGaugeVecFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVecFunc("table_version", "per-table", "table",
+		func() map[string]float64 { return map[string]float64{"a": 1, "b": 2} },
+		"replica", "3")
+	out := scrape(t, r)
+	if !strings.Contains(out, `table_version{replica="3",table="a"} 1`) ||
+		!strings.Contains(out, `table_version{replica="3",table="b"} 2`) {
+		t.Fatalf("gauge vec exposition:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // le 0.001
+	h.Observe(5 * time.Millisecond)   // le 0.01
+	h.Observe(50 * time.Millisecond)  // le 0.1
+	h.Observe(2 * time.Second)        // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	out := scrape(t, r)
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+	// Exact boundary lands in its own bucket (le-inclusive).
+	h2 := newHistogram([]float64{0.001})
+	h2.Observe(time.Millisecond)
+	if got := h2.counts[0].Load(); got != 1 {
+		t.Fatalf("boundary observation in bucket 0 = %d", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(3)
+	g := r.Gauge("y", "")
+	g.Set(1)
+	r.GaugeFunc("z", "", func() float64 { return 0 })
+	r.GaugeVecFunc("w", "", "l", nil)
+	h := r.Histogram("v", "", nil)
+	h.Observe(time.Second)
+	v := r.CounterVec("u", "", "l")
+	v.With("a").Inc()
+	r.WritePrometheus(io.Discard)
+
+	var tr *TraceRecorder
+	tr.Record(Trace{})
+	if tr.Recent(5) != nil || tr.Total() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments accumulated values")
+	}
+}
+
+func TestReRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("v", "", func() float64 { return 1 }, "replica", "0")
+	r.GaugeFunc("v", "", func() float64 { return 2 }, "replica", "0") // restart: same labels
+	out := scrape(t, r)
+	if strings.Contains(out, "v{replica=\"0\"} 1") || !strings.Contains(out, `v{replica="0"} 2`) {
+		t.Fatalf("re-registration did not replace:\n%s", out)
+	}
+	if strings.Count(out, `v{replica="0"}`) != 1 {
+		t.Fatalf("duplicate samples after re-registration:\n%s", out)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "", "g", fmt.Sprint(g))
+			h := r.Histogram("conc_seconds", "", nil, "g", fmt.Sprint(g))
+			for i := 0; i < 100; i++ {
+				c.Inc()
+				h.Observe(time.Millisecond)
+				if i%10 == 0 {
+					r.WritePrometheus(io.Discard)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	out := scrape(t, r)
+	if !strings.Contains(out, `conc_total{g="3"} 100`) {
+		t.Fatalf("concurrent registration lost samples:\n%s", out)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTraceRecorder(3)
+	for i := 1; i <= 5; i++ {
+		tr.Record(Trace{TxnID: uint64(i)})
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("recent len = %d", len(got))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []uint64{5, 4, 3} {
+		if got[i].TxnID != want {
+			t.Fatalf("recent[%d] = %d, want %d", i, got[i].TxnID, want)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if n := len(tr.Recent(2)); n != 2 {
+		t.Fatalf("Recent(2) len = %d", n)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "test counter").Inc()
+	tr := NewTraceRecorder(8)
+	tr.Record(Trace{TxnID: 9, Outcome: "commit", Stages: []StageSpan{{Stage: "Queries", DurationUs: 5}}})
+	ready := true
+	srv, err := Serve("127.0.0.1:0", Options{
+		Registry: reg,
+		Traces:   tr,
+		Health:   func() Health { return Health{Ready: ready, Role: "replica", Detail: map[string]any{"lag": 0}} },
+		JSON:     map[string]func() any{"/snapshot": func() any { return map[string]int{"tps": 100} }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	ready = false
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unready /healthz = %d", code)
+	}
+	code, body := get("/traces")
+	if code != 200 {
+		t.Fatalf("/traces = %d", code)
+	}
+	var parsed struct {
+		Total  uint64  `json:"total_recorded"`
+		Traces []Trace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("/traces not JSON: %v (%q)", err, body)
+	}
+	if parsed.Total != 1 || len(parsed.Traces) != 1 || parsed.Traces[0].TxnID != 9 {
+		t.Fatalf("/traces = %+v", parsed)
+	}
+	if code, body := get("/snapshot"); code != 200 || !strings.Contains(body, `"tps":100`) {
+		t.Fatalf("/snapshot = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof = %d", code)
+	}
+}

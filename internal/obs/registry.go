@@ -1,0 +1,403 @@
+// Package obs is the live observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, fixed-bucket latency
+// histograms) with Prometheus text exposition, a bounded ring-buffer
+// trace recorder for per-transaction timelines, and an HTTP server
+// exposing /metrics, /healthz, /traces, and net/http/pprof.
+//
+// The offline bench already measures the paper's §V-A quantities; this
+// package makes the same signals visible on a *running* cluster:
+// Vlocal vs Vsystem (replication lag), per-table versions, refresh
+// queue depth, synchronization delay, certification and abort rates.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *CounterVec, *Registry, or *TraceRecorder are no-ops, so
+// instrumented hot paths cost one nil check when observability is
+// disabled — no goroutines, no allocation, no locks.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n (n must be >= 0).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are
+// upper-bound seconds (le-inclusive, Prometheus convention); an
+// implicit +Inf bucket catches overflow. Observations are lock-free.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // len(upper)+1; last is +Inf
+	sum    atomic.Int64   // nanoseconds
+}
+
+// DefBuckets covers the paper's latency range: sub-millisecond local
+// operations through multi-second eager global-commit stalls.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	return &Histogram{upper: up, counts: make([]atomic.Int64, len(up)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.upper, s) // first bucket with upper >= s
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// CounterVec is a family of counters split by one label.
+type CounterVec struct {
+	reg   *Registry
+	name  string
+	label string
+	base  []string
+
+	mu   sync.Mutex
+	kids map[string]*Counter
+}
+
+// With returns the counter for one label value, creating it on first
+// use. Nil-safe: a nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[value]; ok {
+		return c
+	}
+	c := &Counter{}
+	v.kids[value] = c
+	pairs := append(append([]string(nil), v.base...), v.label, value)
+	v.reg.register(v.name, entry{kind: kindCounter, pairs: pairs, counter: c})
+	return c
+}
+
+// kind discriminates registry entries.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindGaugeVecFunc
+	kindHistogram
+)
+
+type entry struct {
+	kind     kind
+	pairs    []string // label key/value pairs
+	counter  *Counter
+	gauge    *Gauge
+	fn       func() float64
+	vecLabel string
+	vecFn    func() map[string]float64
+	hist     *Histogram
+}
+
+type family struct {
+	name, help string
+	typ        string
+	entries    map[string]*entry // keyed by rendered label string
+	order      []string
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use and
+// nil-safe (a nil registry registers nothing and returns nil
+// instruments).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func typeOf(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// register installs an entry, replacing any previous entry with the
+// same name and label set (a restarted component re-registers its
+// instruments; the newest wins).
+func (r *Registry) register(name string, e entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.registerLocked(name, "", e)
+}
+
+func (r *Registry) registerLocked(name, help string, e entry) {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typeOf(e.kind), entries: make(map[string]*entry)}
+		r.fams[name] = f
+	}
+	if help != "" {
+		f.help = help
+	}
+	key := renderLabels(e.pairs)
+	if _, exists := f.entries[key]; !exists {
+		f.order = append(f.order, key)
+	}
+	f.entries[key] = &e
+}
+
+// Counter registers and returns a counter. Trailing arguments are
+// label key/value pairs.
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.mu.Lock()
+	r.registerLocked(name, help, entry{kind: kindCounter, pairs: labelPairs, counter: c})
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.mu.Lock()
+	r.registerLocked(name, help, entry{kind: kindGauge, pairs: labelPairs, gauge: g})
+	r.mu.Unlock()
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time. fn must be
+// safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.registerLocked(name, help, entry{kind: kindGaugeFunc, pairs: labelPairs, fn: fn})
+	r.mu.Unlock()
+}
+
+// GaugeVecFunc registers a gauge family whose per-label values are
+// produced at scrape time: fn returns label-value → gauge value, and
+// each key is emitted under the given label name.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.registerLocked(name, help, entry{kind: kindGaugeVecFunc, pairs: labelPairs, vecLabel: label, vecFn: fn})
+	r.mu.Unlock()
+}
+
+// Histogram registers and returns a fixed-bucket histogram. nil or
+// empty buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := newHistogram(buckets)
+	r.mu.Lock()
+	r.registerLocked(name, help, entry{kind: kindHistogram, pairs: labelPairs, hist: h})
+	r.mu.Unlock()
+	return h
+}
+
+// CounterVec registers a counter family split by one label (plus
+// optional constant label pairs).
+func (r *Registry) CounterVec(name, help, label string, labelPairs ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	// Materialize the family eagerly so an unused vec still appears.
+	r.mu.Lock()
+	if _, ok := r.fams[name]; !ok {
+		r.fams[name] = &family{name: name, help: help, typ: "counter", entries: make(map[string]*entry)}
+	} else if help != "" {
+		r.fams[name].help = help
+	}
+	r.mu.Unlock()
+	return &CounterVec{reg: r, name: name, label: label, base: labelPairs, kids: make(map[string]*Counter)}
+}
+
+// renderLabels formats label pairs as {k="v",...}; empty pairs render
+// as "".
+func renderLabels(pairs []string, extra ...string) string {
+	all := append(append([]string(nil), pairs...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families and samples in sorted
+// order for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot entry pointers so scrape-time funcs run outside r.mu
+	// (they may take component locks).
+	type famSnap struct {
+		name, help, typ string
+		keys            []string
+		entries         []*entry
+	}
+	snaps := make([]famSnap, 0, len(names))
+	for _, n := range names {
+		f := r.fams[n]
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		es := make([]*entry, 0, len(keys))
+		for _, k := range keys {
+			es = append(es, f.entries[k])
+		}
+		snaps = append(snaps, famSnap{name: f.name, help: f.help, typ: f.typ, keys: keys, entries: es})
+	}
+	r.mu.Unlock()
+
+	for _, f := range snaps {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for i, e := range f.entries {
+			labels := f.keys[i]
+			switch e.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labels, e.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labels, e.gauge.Value())
+			case kindGaugeFunc:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(e.fn()))
+			case kindGaugeVecFunc:
+				vals := e.vecFn()
+				keys := make([]string, 0, len(vals))
+				for k := range vals {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(e.pairs, e.vecLabel, k), formatFloat(vals[k]))
+				}
+			case kindHistogram:
+				h := e.hist
+				var cum int64
+				for bi, ub := range h.upper {
+					cum += h.counts[bi].Load()
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(e.pairs, "le", formatFloat(ub)), cum)
+				}
+				cum += h.counts[len(h.upper)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(e.pairs, "le", "+Inf"), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(time.Duration(h.sum.Load()).Seconds()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, cum)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Health is a role-aware readiness report: a replica is ready when its
+// replication lag is bounded, a certifier when it is serving, a
+// gateway when it has live replicas to route to.
+type Health struct {
+	Ready  bool           `json:"ready"`
+	Role   string         `json:"role,omitempty"`
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// HealthFunc produces the current health report at request time.
+type HealthFunc func() Health
+
+// Options configures an observability server. Any field may be zero:
+// missing pieces serve empty (but valid) responses.
+type Options struct {
+	Registry *Registry
+	Traces   *TraceRecorder
+	Health   HealthFunc
+	// JSON mounts extra endpoints (path → value producer); responses
+	// are marshaled with encoding/json. Used by the bench runner to
+	// serve the live metrics.Snapshot at /snapshot.
+	JSON map[string]func() any
+}
+
+// NewHandler builds the HTTP handler serving /metrics, /healthz,
+// /traces, /debug/pprof/*, and any extra JSON endpoints.
+func NewHandler(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{Ready: true}
+		if o.Health != nil {
+			h = o.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		traces := o.Traces.Recent(n)
+		if traces == nil {
+			traces = []Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Total  uint64  `json:"total_recorded"`
+			Traces []Trace `json:"traces"`
+		}{o.Traces.Total(), traces})
+	})
+	for path, fn := range o.JSON {
+		fn := fn
+		mux.HandleFunc(path, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(fn())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9100").
+func Serve(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(o)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

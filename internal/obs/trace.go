@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StageSpan is one stage of a transaction's timeline, offsets relative
+// to the transaction's first stage.
+type StageSpan struct {
+	Stage      string `json:"stage"`
+	StartUs    int64  `json:"start_us"`
+	DurationUs int64  `json:"duration_us"`
+}
+
+// Trace is one completed transaction's timeline: the §V-A stage
+// sequence (begin → version-wait → execute → certify → sync → commit,
+// plus global under eager) with the versions and replica involved.
+type Trace struct {
+	TxnID         uint64      `json:"txn_id"`
+	Replica       int         `json:"replica"`
+	Outcome       string      `json:"outcome"` // "commit" or "abort"
+	ReadOnly      bool        `json:"read_only"`
+	Snapshot      uint64      `json:"snapshot"`
+	CommitVersion uint64      `json:"commit_version,omitempty"`
+	Start         time.Time   `json:"start"`
+	TotalUs       int64       `json:"total_us"`
+	Stages        []StageSpan `json:"stages"`
+}
+
+// TraceRecorder keeps the most recent transaction traces in a bounded
+// ring buffer. Record is cheap (one lock, one copy) and nil-safe, so
+// instrumented paths pay only a nil check when tracing is off.
+type TraceRecorder struct {
+	mu    sync.Mutex
+	ring  []Trace
+	next  int
+	count int
+	total uint64
+}
+
+// NewTraceRecorder returns a recorder keeping the last capacity traces
+// (minimum 1).
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRecorder{ring: make([]Trace, capacity)}
+}
+
+// Record stores one trace, evicting the oldest when full.
+func (t *TraceRecorder) Record(tr Trace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recent returns up to n traces, newest first. n <= 0 returns all
+// retained traces.
+func (t *TraceRecorder) Recent(n int) []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.count {
+		n = t.count
+	}
+	out := make([]Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Total returns how many traces have ever been recorded (including
+// evicted ones).
+func (t *TraceRecorder) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -1,0 +1,154 @@
+package replica
+
+import (
+	"strconv"
+	"sync"
+
+	"sconrep/internal/obs"
+)
+
+// obsState holds a replica's live-observability instruments. It is nil
+// until EnableObs; every hot-path hook is guarded by one atomic load
+// and a nil check, so a replica without observability pays nothing.
+type obsState struct {
+	id     int
+	traces *obs.TraceRecorder
+
+	syncDelay     *obs.Histogram
+	commits       *obs.Counter
+	aborts        *obs.Counter
+	earlyAborts   *obs.Counter
+	certConflicts *obs.Counter
+
+	mu        sync.Mutex
+	tableVers map[string]uint64
+}
+
+// EnableObs registers this replica's metrics with reg and, when tr is
+// non-nil, records a timeline trace for every finished transaction.
+// Call once, before serving traffic. Metric labels carry the replica
+// ID so multiple replicas share one registry (in-process clusters).
+func (r *Replica) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
+	if reg == nil || r.obs.Load() != nil {
+		return
+	}
+	id := strconv.Itoa(r.cfg.ID)
+	o := &obsState{id: r.cfg.ID, traces: tr, tableVers: make(map[string]uint64)}
+	// Bootstrapped tables start at the engine's current version.
+	for _, tab := range r.eng.Tables() {
+		o.tableVers[tab] = r.eng.Version()
+	}
+	o.syncDelay = reg.Histogram("sconrep_sync_delay_seconds",
+		"Synchronization start delay: wait until Vlocal reaches the transaction's minimum start version (the paper's Figure 6 series).",
+		nil, "replica", id)
+	o.commits = reg.Counter("sconrep_replica_commits_total",
+		"Transactions committed on this replica.", "replica", id)
+	o.aborts = reg.Counter("sconrep_replica_aborts_total",
+		"Transactions aborted on this replica (all causes).", "replica", id)
+	o.earlyAborts = reg.Counter("sconrep_replica_early_aborts_total",
+		"Aborts by early certification against pending refresh writesets (§IV).", "replica", id)
+	o.certConflicts = reg.Counter("sconrep_replica_cert_conflicts_total",
+		"Aborts decided by the certifier (first-committer-wins conflicts).", "replica", id)
+	reg.GaugeFunc("sconrep_replica_applied_version",
+		"Vlocal: the replica's latest applied commit version.",
+		func() float64 { return float64(r.Version()) }, "replica", id)
+	reg.GaugeFunc("sconrep_replica_refresh_queue_depth",
+		"Refresh writesets received but not yet applied (mailbox + reorder buffer).",
+		func() float64 { return float64(r.RefreshQueueDepth()) }, "replica", id)
+	reg.GaugeFunc("sconrep_replica_active_txns",
+		"In-flight client transactions (the load balancer's routing signal).",
+		func() float64 { return float64(r.Active()) }, "replica", id)
+	reg.GaugeFunc("sconrep_replica_applied_refreshes",
+		"Refresh transactions committed by this replica.",
+		func() float64 { return float64(r.AppliedRefreshes()) }, "replica", id)
+	reg.GaugeFunc("sconrep_replica_crashed",
+		"1 while the replica is detached (crashed), else 0.",
+		func() float64 {
+			if r.Crashed() {
+				return 1
+			}
+			return 0
+		}, "replica", id)
+	reg.GaugeVecFunc("sconrep_replica_table_version",
+		"Vt per table: the version of the last applied write to each table (fine-grained synchronization input).",
+		"table", o.tableVersions, "replica", id)
+	r.obs.Store(o)
+}
+
+// RefreshQueueDepth returns how many refresh writesets are queued but
+// not yet applied: the certifier-mailbox backlog plus the reorder
+// buffer — the replica's replication lag in transactions.
+func (r *Replica) RefreshQueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.reorder)
+	if r.sub != nil && !r.crashed {
+		n += r.sub.QueueLen()
+	}
+	return n
+}
+
+// noteTables advances the per-table applied-version map.
+func (o *obsState) noteTables(tables []string, v uint64) {
+	o.mu.Lock()
+	for _, tab := range tables {
+		if v > o.tableVers[tab] {
+			o.tableVers[tab] = v
+		}
+	}
+	o.mu.Unlock()
+}
+
+// tableVersions is the scrape-time view for the table-version gauges.
+func (o *obsState) tableVersions() map[string]float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]float64, len(o.tableVers))
+	for tab, v := range o.tableVers {
+		out[tab] = float64(v)
+	}
+	return out
+}
+
+// finish records the outcome counters and the transaction's timeline
+// trace. Called exactly once per transaction, from abortInternal (the
+// single finalization point), after the timer is stopped.
+func (o *obsState) finish(t *Txn) {
+	outcome := t.outcome
+	if outcome == "" {
+		outcome = "abort"
+		o.aborts.Inc()
+		if t.killed {
+			o.earlyAborts.Inc()
+		}
+	} else {
+		o.commits.Inc()
+	}
+	if o.traces == nil || t.timer == nil {
+		return
+	}
+	spans := t.timer.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	start := spans[0].Start
+	stages := make([]obs.StageSpan, 0, len(spans))
+	for _, sp := range spans {
+		stages = append(stages, obs.StageSpan{
+			Stage:      sp.Stage.String(),
+			StartUs:    sp.Start.Sub(start).Microseconds(),
+			DurationUs: sp.End.Sub(sp.Start).Microseconds(),
+		})
+	}
+	o.traces.Record(obs.Trace{
+		TxnID:         t.id,
+		Replica:       o.id,
+		Outcome:       outcome,
+		ReadOnly:      t.readOnly,
+		Snapshot:      t.stx.Snapshot(),
+		CommitVersion: t.commitVersion,
+		Start:         start,
+		TotalUs:       spans[len(spans)-1].End.Sub(start).Microseconds(),
+		Stages:        stages,
+	})
+}

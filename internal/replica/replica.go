@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sconrep/internal/certifier"
 	"sconrep/internal/latency"
@@ -136,6 +137,9 @@ type Replica struct {
 	// appliedRefreshes counts refresh transactions committed, for
 	// observability and tests.
 	appliedRefreshes atomic.Int64
+	// obs is the live-observability state; nil (one atomic load on hot
+	// paths) until EnableObs.
+	obs atomic.Pointer[obsState]
 }
 
 // New creates a replica around an existing engine (already loaded with
@@ -287,6 +291,9 @@ func (r *Replica) applyReadyLocked() bool {
 		}
 		progress = true
 		r.appliedRefreshes.Add(1)
+		if o := r.obs.Load(); o != nil {
+			o.noteTables(ref.WS.Tables(), ref.Version)
+		}
 		// The commit notification to the certifier (eager accounting,
 		// §IV-D) travels one network hop and must not stall the
 		// drainer.
@@ -326,6 +333,11 @@ type Txn struct {
 	// touched accumulates the table-sets of executed statements — the
 	// transaction's observed read set, reported to the history checker.
 	touched map[string]bool
+	// outcome/commitVersion/readOnly feed the trace recorder; outcome
+	// stays "" (recorded as abort) unless Commit succeeds.
+	outcome       string
+	commitVersion uint64
+	readOnly      bool
 }
 
 // Begin starts a client transaction once the replica has reached
@@ -334,7 +346,13 @@ func (r *Replica) Begin(minVersion uint64, timer *metrics.TxnTimer) (*Txn, error
 	if timer != nil {
 		timer.Start(metrics.StageVersion)
 	}
-	if err := r.WaitVersion(minVersion); err != nil {
+	if o := r.obs.Load(); o != nil {
+		waitStart := time.Now()
+		if err := r.WaitVersion(minVersion); err != nil {
+			return nil, err
+		}
+		o.syncDelay.Observe(time.Since(waitStart))
+	} else if err := r.WaitVersion(minVersion); err != nil {
 		return nil, err
 	}
 	tx := &Txn{
@@ -502,6 +520,9 @@ func (t *Txn) abortInternal() {
 	if t.timer != nil {
 		t.timer.Stop()
 	}
+	if o := t.r.obs.Load(); o != nil {
+		o.finish(t)
+	}
 }
 
 // CommitResult describes a successful commit.
@@ -539,6 +560,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 			}
 		})
 		snap := t.stx.Snapshot()
+		t.outcome, t.commitVersion, t.readOnly = "commit", snap, true
 		t.abortInternal() // releases the storage txn; nothing to apply
 		return CommitResult{Version: snap, ReadOnly: true}, nil
 	}
@@ -556,6 +578,9 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		return CommitResult{}, err
 	}
 	if !dec.Commit {
+		if o := t.r.obs.Load(); o != nil {
+			o.certConflicts.Inc()
+		}
 		t.abortInternal()
 		return CommitResult{}, ErrCertifyConflict
 	}
@@ -601,6 +626,9 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 	// Wake the drainer: refreshes may have queued up behind our slot.
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	if o := r.obs.Load(); o != nil {
+		o.noteTables(ws.Tables(), dec.Version)
+	}
 
 	// Eager strong consistency: hold the acknowledgment until every
 	// replica has applied the writeset (global commit delay). The
@@ -618,6 +646,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 	}
 
 	res := CommitResult{Version: dec.Version, WrittenTables: ws.Tables()}
+	t.outcome, t.commitVersion = "commit", dec.Version
 	t.abortInternal() // storage txn state is no longer needed
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"sconrep/internal/certifier"
+	"sconrep/internal/obs"
 	"sconrep/internal/replica"
 	"sconrep/internal/writeset"
 )
@@ -61,6 +62,20 @@ type CertServer struct {
 	mu      sync.Mutex
 	adopted bool
 	closed  bool
+
+	obsReqs *obs.CounterVec // nil-safe until EnableObs
+}
+
+// EnableObs counts served requests per operation under
+// sconrep_wire_requests_total{link="certifier"}. Call before traffic.
+func (s *CertServer) EnableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.obsReqs = reg.CounterVec("sconrep_wire_requests_total",
+		"Wire requests served, by link and operation.", "op", "link", "certifier")
+	s.mu.Unlock()
 }
 
 // ServeCertifier starts serving cert on addr and returns the server.
@@ -148,6 +163,10 @@ func (s *CertServer) serveRequests(dec *gob.Decoder, enc *gob.Encoder) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		s.mu.Lock()
+		reqs := s.obsReqs
+		s.mu.Unlock()
+		reqs.With(req.Op).Inc()
 		var resp certResponse
 		switch req.Op {
 		case "certify":
@@ -293,6 +312,14 @@ func (c *CertClient) GlobalCommitted(v uint64) <-chan struct{} {
 		}
 	}()
 	return done
+}
+
+// Version fetches the certifier's latest assigned commit version —
+// the system-wide watermark a replica compares its Vlocal against to
+// report replication lag on /healthz.
+func (c *CertClient) Version() (uint64, error) {
+	resp, err := c.call(certRequest{Op: "version"})
+	return resp.Version, err
 }
 
 // History implements replica.CertService.

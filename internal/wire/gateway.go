@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sconrep/internal/core"
 	"sconrep/internal/lb"
+	"sconrep/internal/obs"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 )
@@ -51,6 +54,27 @@ type Gateway struct {
 	replicas []*remoteReplica
 	ln       net.Listener
 	stop     chan struct{}
+
+	mu       sync.Mutex
+	obsReqs  *obs.CounterVec // nil-safe until EnableObs
+	sessions atomic.Int64
+}
+
+// EnableObs registers the gateway's live metrics with reg: client
+// request counts per operation, open session count, and the embedded
+// load balancer's routing/version instruments. Call before traffic.
+func (g *Gateway) EnableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	g.mu.Lock()
+	g.obsReqs = reg.CounterVec("sconrep_wire_requests_total",
+		"Wire requests served, by link and operation.", "op", "link", "gateway")
+	g.mu.Unlock()
+	reg.GaugeFunc("sconrep_gateway_sessions",
+		"Client sessions currently connected to the gateway.",
+		func() float64 { return float64(g.sessions.Load()) })
+	g.balancer.EnableObs(reg)
 }
 
 // ServeGateway starts a gateway on addr routing to the given replica
@@ -129,6 +153,8 @@ func (g *Gateway) handle(c net.Conn) {
 		return
 	}
 	sess := &gatewaySession{id: hello.SessionID}
+	g.sessions.Add(1)
+	defer g.sessions.Add(-1)
 	defer func() {
 		if sess.open {
 			_, _ = sess.replica.call(&replicaRequest{Op: "abort", TxnID: sess.txnID})
@@ -149,6 +175,10 @@ func (g *Gateway) handle(c net.Conn) {
 }
 
 func (g *Gateway) dispatch(sess *gatewaySession, req *clientRequest) *clientResponse {
+	g.mu.Lock()
+	reqs := g.obsReqs
+	g.mu.Unlock()
+	reqs.With(req.Op).Inc()
 	resp := &clientResponse{}
 	fail := func(err error) *clientResponse {
 		resp.Err = err.Error()

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"sconrep/internal/metrics"
+	"sconrep/internal/obs"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 )
@@ -75,10 +76,23 @@ type ReplicaServer struct {
 	rep *replica.Replica
 	ln  net.Listener
 
-	mu    sync.Mutex
-	txns  map[uint64]*replica.Txn
-	next  uint64
-	stmts map[string]*sql.Prepared
+	mu      sync.Mutex
+	txns    map[uint64]*replica.Txn
+	next    uint64
+	stmts   map[string]*sql.Prepared
+	obsReqs *obs.CounterVec // nil-safe until EnableObs
+}
+
+// EnableObs counts served requests per operation under
+// sconrep_wire_requests_total{link="replica"}. Call before traffic.
+func (s *ReplicaServer) EnableObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.obsReqs = reg.CounterVec("sconrep_wire_requests_total",
+		"Wire requests served, by link and operation.", "op", "link", "replica")
+	s.mu.Unlock()
 }
 
 // ServeReplica starts serving rep on addr.
@@ -161,6 +175,10 @@ func (s *ReplicaServer) handle(c net.Conn) {
 }
 
 func (s *ReplicaServer) dispatch(req *replicaRequest) *replicaResponse {
+	s.mu.Lock()
+	reqs := s.obsReqs
+	s.mu.Unlock()
+	reqs.With(req.Op).Inc()
 	resp := &replicaResponse{}
 	fail := func(err error) *replicaResponse {
 		resp.Err = err.Error()

@@ -17,11 +17,11 @@ type Interaction struct {
 	Run    func(*cluster.Session, *Ctx) error
 }
 
-// Mix is a weighted set of interactions.
+// Mix is a weighted set of interactions. A Mix is shared by all EBs
+// of a run, so it must stay read-only while browsers are running.
 type Mix struct {
 	Name         string
 	Interactions []Interaction
-	total        int
 }
 
 // UpdateFraction returns the weighted share of update interactions.
@@ -41,12 +41,11 @@ func (m *Mix) UpdateFraction() float64 {
 
 // pick selects an interaction by weight.
 func (m *Mix) pick(x *Ctx) *Interaction {
-	if m.total == 0 {
-		for _, in := range m.Interactions {
-			m.total += in.Weight
-		}
+	total := 0
+	for _, in := range m.Interactions {
+		total += in.Weight
 	}
-	n := x.Rng.Intn(m.total)
+	n := x.Rng.Intn(total)
 	for i := range m.Interactions {
 		n -= m.Interactions[i].Weight
 		if n < 0 {
