@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench sweep examples clean
+.PHONY: all build test race vet ci chaos bench sweep examples clean
 
 all: build test
 
@@ -28,6 +28,13 @@ ci:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
+
+# Seeded chaos harness: fault-injected TPC-W over the networked
+# cluster, oracle-checked in all four modes, under the race detector.
+# Replay one failing seed with:
+#   SCONREP_CHAOS_SEED=<s> $(GO) test -race -run TestChaos ./internal/cluster/
+chaos:
+	SCONREP_CHAOS_SEEDS=8 $(GO) test -race -run TestChaos -count=1 -timeout 20m ./internal/cluster/
 
 # Smoke-sized benchmarks: one per paper table/figure, plus module
 # micro-benchmarks.

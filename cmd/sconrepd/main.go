@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"sconrep/internal/certifier"
 	"sconrep/internal/core"
@@ -48,17 +49,29 @@ func main() {
 	eager := flag.Bool("eager", false, "enable eager global-commit tracking (certifier role; required when the gateway runs -mode ESC)")
 	obsAddr := flag.String("obs", "", "observability listen address (server roles): serves /metrics, /healthz, /traces, /debug/pprof")
 	obsMaxLag := flag.Uint64("obs-maxlag", 100, "replica /healthz reports unready when certifier version - Vlocal exceeds this")
+	callTimeout := flag.Duration("call-timeout", 15*time.Second, "deadline for one request/response exchange; must exceed -sub-lease or eager commits can time out while the certifier waits for a leased replica (0 = none)")
+	longPollTimeout := flag.Duration("long-poll-timeout", 30*time.Second, "deadline for deliberately long-blocking calls such as the eager global-commit wait (0 = none)")
+	streamIdle := flag.Duration("stream-idle", 5*time.Second, "server-side idle teardown and refresh-stream partition detector (0 = none)")
+	backoffMin := flag.Duration("backoff-min", 20*time.Millisecond, "initial reconnect/retry backoff")
+	backoffMax := flag.Duration("backoff-max", time.Second, "backoff ceiling")
+	subLease := flag.Duration("sub-lease", 10*time.Second, "certifier role: how long a replica stays subscribed after its refresh stream drops")
+	streamGrace := flag.Duration("stream-grace", 500*time.Millisecond, "replica role: how long after losing the refresh stream the replica keeps serving; must stay below -sub-lease")
 	flag.Parse()
+
+	wireOpts := []wire.Option{
+		wire.WithTimeouts(wire.Timeouts{Call: *callTimeout, LongPoll: *longPollTimeout, Idle: *streamIdle}),
+		wire.WithBackoff(wire.Backoff{Min: *backoffMin, Max: *backoffMax}),
+	}
 
 	switch *role {
 	case "certifier":
-		runCertifier(*listen, *walPath, *eager, *obsAddr)
+		runCertifier(*listen, *walPath, *eager, *obsAddr, append(wireOpts, wire.WithSubLease(*subLease)))
 	case "replica":
-		runReplica(*listen, *id, *certAddr, *bootstrap, *obsAddr, *obsMaxLag)
+		runReplica(*listen, *id, *certAddr, *bootstrap, *obsAddr, *obsMaxLag, *streamGrace, wireOpts)
 	case "gateway":
-		runGateway(*listen, *modeFlag, *replicasFlag, *obsAddr)
+		runGateway(*listen, *modeFlag, *replicasFlag, *obsAddr, wireOpts)
 	case "client":
-		runClient(*connect, *session)
+		runClient(*connect, *session, wireOpts)
 	default:
 		log.Fatalf("unknown -role %q (want certifier, replica, gateway, or client)", *role)
 	}
@@ -74,7 +87,7 @@ func serveObs(addr, role string, o obs.Options) {
 	log.Printf("%s observability on http://%s (/metrics /healthz /traces /debug/pprof)", role, srv.Addr())
 }
 
-func runCertifier(listen, walPath string, eager bool, obsAddr string) {
+func runCertifier(listen, walPath string, eager bool, obsAddr string, wireOpts []wire.Option) {
 	var opts []certifier.Option
 	if walPath != "" {
 		// Recover prior decisions, then append to the same log.
@@ -100,17 +113,17 @@ func runCertifier(listen, walPath string, eager bool, obsAddr string) {
 		}); err != nil {
 			log.Fatalf("wal replay: %v", err)
 		}
-		serveCertifier(cert, listen, obsAddr)
+		serveCertifier(cert, listen, obsAddr, wireOpts)
 		return
 	}
 	if eager {
 		opts = append(opts, certifier.WithEager())
 	}
-	serveCertifier(certifier.New(opts...), listen, obsAddr)
+	serveCertifier(certifier.New(opts...), listen, obsAddr, wireOpts)
 }
 
-func serveCertifier(cert *certifier.Certifier, listen, obsAddr string) {
-	srv, err := wire.ServeCertifier(cert, listen)
+func serveCertifier(cert *certifier.Certifier, listen, obsAddr string, wireOpts []wire.Option) {
+	srv, err := wire.ServeCertifier(cert, listen, wireOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,7 +145,7 @@ func serveCertifier(cert *certifier.Certifier, listen, obsAddr string) {
 	select {}
 }
 
-func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxLag uint64) {
+func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxLag uint64, streamGrace time.Duration, wireOpts []wire.Option) {
 	if certAddr == "" {
 		log.Fatal("replica role requires -certifier")
 	}
@@ -142,9 +155,21 @@ func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxL
 			log.Fatalf("bootstrap: %v", err)
 		}
 	}
-	cc := wire.DialCertifier(certAddr, id, eng.Version())
+	cc := wire.DialCertifier(certAddr, id, eng.Version(),
+		append(wireOpts, wire.WithVLocal(eng.Version))...)
 	rep := replica.New(replica.Config{ID: id, EarlyCert: true}, eng, cc)
-	srv, err := wire.ServeReplica(rep, listen)
+	// Serve gate: while the refresh stream has been dead longer than the
+	// grace (or the replica is still catching up to the version floor it
+	// saw at resubscribe), begin requests fail with ErrUnavailable and
+	// the gateway routes elsewhere — a partitioned replica must not
+	// serve possibly stale strong reads.
+	gate := func() error {
+		if cc.Ready(streamGrace) {
+			return nil
+		}
+		return wire.ErrUnavailable
+	}
+	srv, err := wire.ServeReplica(rep, listen, append(wireOpts, wire.WithGate(gate))...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -161,8 +186,9 @@ func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxL
 			// one lagging more than maxLag versions is unready.
 			Health: func() obs.Health {
 				vlocal := rep.Version()
-				detail := map[string]any{"replica": id, "vlocal": vlocal, "crashed": rep.Crashed()}
-				ready := !rep.Crashed()
+				serving := cc.Ready(streamGrace)
+				detail := map[string]any{"replica": id, "vlocal": vlocal, "crashed": rep.Crashed(), "serving": serving}
+				ready := !rep.Crashed() && serving
 				if cv, err := cc.Version(); err != nil {
 					detail["certifier_error"] = err.Error()
 					ready = false
@@ -208,7 +234,7 @@ func loadBootstrap(eng *storage.Engine, path string) error {
 	return nil
 }
 
-func runGateway(listen, modeFlag, replicasFlag, obsAddr string) {
+func runGateway(listen, modeFlag, replicasFlag, obsAddr string, wireOpts []wire.Option) {
 	mode, err := core.ParseMode(modeFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -217,7 +243,7 @@ func runGateway(listen, modeFlag, replicasFlag, obsAddr string) {
 		log.Fatal("gateway role requires -replicas")
 	}
 	addrs := strings.Split(replicasFlag, ",")
-	gw, err := wire.ServeGateway(listen, mode, addrs)
+	gw, err := wire.ServeGateway(listen, mode, addrs, wireOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -242,11 +268,11 @@ func runGateway(listen, modeFlag, replicasFlag, obsAddr string) {
 	select {}
 }
 
-func runClient(connect, session string) {
+func runClient(connect, session string, wireOpts []wire.Option) {
 	if connect == "" {
 		log.Fatal("client role requires -connect")
 	}
-	c, err := wire.Dial(connect, session)
+	c, err := wire.Dial(connect, session, wireOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,6 +54,25 @@ type eagerWait struct {
 	done    chan struct{}
 }
 
+// memoKey identifies one certification request for idempotency.
+type memoKey struct {
+	origin int
+	txnID  uint64
+}
+
+// memoEntry is a memoized commit decision. snapshot distinguishes a
+// retried request from an unrelated reuse of the same txn ID (e.g.
+// after a replica restart).
+type memoEntry struct {
+	snapshot uint64
+	dec      Decision
+}
+
+// memoCap bounds the decision memo (FIFO eviction). It only needs to
+// cover the window between a lost certify response and its retry, so a
+// few thousand decisions is plenty.
+const memoCap = 8192
+
 // Certifier orders and certifies update transactions. All methods are
 // safe for concurrent use.
 type Certifier struct {
@@ -70,6 +89,11 @@ type Certifier struct {
 	// eager mode bookkeeping: per-version apply counters.
 	eager bool
 	waits map[uint64]*eagerWait
+
+	// Commit-decision memo for retried certification requests (a lost
+	// response must not turn into a duplicate version).
+	memo      map[memoKey]memoEntry
+	memoOrder []memoKey
 
 	// Live-observability counters (nil-safe no-ops until EnableObs).
 	obsCommits *obs.Counter
@@ -96,6 +120,7 @@ func New(opts ...Option) *Certifier {
 		index: writeset.NewIndex(),
 		subs:  make(map[int]*mailbox),
 		waits: make(map[uint64]*eagerWait),
+		memo:  make(map[memoKey]memoEntry),
 	}
 	for _, o := range opts {
 		o(c)
@@ -106,12 +131,20 @@ func New(opts ...Option) *Certifier {
 
 // StartAt initializes the version counter of a fresh certifier to v —
 // used when replicas are bootstrapped with identical preloaded data at
-// version v outside the replication protocol.
+// version v outside the replication protocol. Until the first decision
+// is certified the counter may be re-raised (never lowered): wire
+// hellos adopt each replica's live Vlocal, and a hello racing an
+// in-progress bootstrap can land a partial version that a later
+// StartAt must supersede. Once any decision exists the counter is
+// locked — moving it would re-assign versions already applied.
 func (c *Certifier) StartAt(v uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.version != 0 || len(c.history) != 0 {
-		return errors.New("certifier: StartAt on non-empty certifier")
+	if len(c.history) != 0 {
+		return errors.New("certifier: StartAt after decisions were certified")
+	}
+	if v < c.version {
+		return errors.New("certifier: StartAt below current version")
 	}
 	c.version = v
 	c.glog.startAt(v)
@@ -144,6 +177,10 @@ func (c *Certifier) Subscribe(replicaID int) *Subscription {
 func (c *Certifier) Unsubscribe(replicaID int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.unsubscribeLocked(replicaID)
+}
+
+func (c *Certifier) unsubscribeLocked(replicaID int) {
 	if mb, ok := c.subs[replicaID]; ok {
 		mb.close()
 		delete(c.subs, replicaID)
@@ -165,6 +202,20 @@ type Subscription struct {
 	c         *Certifier
 	replicaID int
 	mb        *mailbox
+}
+
+// Cancel unsubscribes the replica only if this subscription is still
+// its current one. A stale stream handler (the replica already
+// resubscribed, perhaps through a restarted server) must not detach
+// the live subscription; its dead mailbox is simply closed.
+func (s *Subscription) Cancel() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.c.subs[s.replicaID] == s.mb {
+		s.c.unsubscribeLocked(s.replicaID)
+		return
+	}
+	s.mb.close()
 }
 
 // Take blocks for the next batch of refresh writesets; ok is false
@@ -245,6 +296,14 @@ func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.Wri
 		return Decision{}, fmt.Errorf("certifier: empty writeset for txn %d (read-only transactions commit locally)", txnID)
 	}
 	c.mu.Lock()
+	// Retried request (the response was lost in transit): return the
+	// original commit decision instead of assigning a second version.
+	// Only commits are memoized — re-certifying an aborted transaction
+	// re-aborts it, since the conflict index only grows.
+	if m, ok := c.memo[memoKey{origin, txnID}]; ok && m.snapshot == snapshot {
+		c.mu.Unlock()
+		return m.dec, nil
+	}
 	if snapshot < c.floor {
 		c.obsTooOld.Inc()
 		c.mu.Unlock()
@@ -261,6 +320,13 @@ func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.Wri
 	cp := ws.Clone()
 	c.index.Add(cp, v)
 	c.history = append(c.history, historyEntry{txnID: txnID, version: v, origin: origin, ws: cp})
+	k := memoKey{origin, txnID}
+	c.memo[k] = memoEntry{snapshot: snapshot, dec: Decision{Commit: true, Version: v}}
+	c.memoOrder = append(c.memoOrder, k)
+	if len(c.memoOrder) > memoCap {
+		delete(c.memo, c.memoOrder[0])
+		c.memoOrder = c.memoOrder[1:]
+	}
 	if c.eager {
 		// Every subscribed replica other than the origin must apply
 		// before the global commit completes.
@@ -299,17 +365,22 @@ func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.Wri
 
 // Applied records that a replica other than the origin has applied and
 // committed version v — the eager mode's global-commit accounting.
+// Acks are cumulative: replicas apply in strict version order, so an
+// ack for v also clears the replica from every wait below v. That
+// makes coalesced and retried acks (the wire client ships only the
+// highest version) sound.
 func (c *Certifier) Applied(replicaID int, v uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	w, ok := c.waits[v]
-	if !ok || !w.waiting[replicaID] {
-		return
-	}
-	delete(w.waiting, replicaID)
-	if len(w.waiting) == 0 {
-		close(w.done)
-		delete(c.waits, v)
+	for ver, w := range c.waits {
+		if ver > v || !w.waiting[replicaID] {
+			continue
+		}
+		delete(w.waiting, replicaID)
+		if len(w.waiting) == 0 {
+			close(w.done)
+			delete(c.waits, ver)
+		}
 	}
 }
 

@@ -1,0 +1,229 @@
+// Chaos harness: seeded fault-injected TPC-W runs over the networked
+// cluster, validated against the history oracle in all four
+// consistency modes.
+//
+// Controls:
+//
+//	SCONREP_CHAOS_SEEDS=<n>  run n seeds per mode (default 2; CI runs 8)
+//	SCONREP_CHAOS_SEED=<s>   replay exactly one seed (overrides SEEDS)
+//
+// A failing run prints the SCONREP_CHAOS_SEED line that replays its
+// fault schedule.
+package cluster_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sconrep/internal/cluster"
+	"sconrep/internal/core"
+	"sconrep/internal/fault"
+	"sconrep/internal/history"
+	"sconrep/internal/storage"
+	"sconrep/internal/wire"
+	"sconrep/internal/workload/tpcw"
+)
+
+const chaosReplicas = 3
+
+func chaosSeeds() []int64 {
+	if s := os.Getenv("SCONREP_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("bad SCONREP_CHAOS_SEED %q: %v", s, err))
+		}
+		return []int64{n}
+	}
+	count := 2
+	if s := os.Getenv("SCONREP_CHAOS_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			panic(fmt.Sprintf("bad SCONREP_CHAOS_SEEDS %q", s))
+		}
+		count = n
+	}
+	seeds := make([]int64, count)
+	for i := range seeds {
+		seeds[i] = int64(1000 + 97*i)
+	}
+	return seeds
+}
+
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness skipped in -short mode")
+	}
+	seeds := chaosSeeds()
+	for _, mode := range []core.Mode{core.Eager, core.Coarse, core.Fine, core.Session} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					runChaos(t, mode, seed)
+				})
+			}
+		})
+	}
+}
+
+func runChaos(t *testing.T, mode core.Mode, seed int64) {
+	replay := fmt.Sprintf("replay: SCONREP_CHAOS_SEED=%d go test -race -run 'TestChaos/%s' ./internal/cluster/", seed, mode)
+
+	inj := fault.New(seed, fault.Config{
+		DialFailProb:  0.05,
+		DelayProb:     0.10,
+		MaxDelay:      2 * time.Millisecond,
+		DropProb:      0.015,
+		DupProb:       0.003,
+		HalfCloseProb: 0.003,
+	})
+	// Clean bring-up and load; noise starts with the workload.
+	inj.SetActive(false)
+
+	// Timing discipline: the replica serve gate must close
+	// (StreamGrace + Idle) before the certifier stops waiting for a
+	// partitioned subscriber (SubLease), and the client call timeout
+	// must outlast an eager commit stalled for a full lease.
+	ncfg := cluster.NetConfig{
+		DialerFor: func(link string) wire.Dialer {
+			return wire.Dialer(inj.Dialer(link, nil))
+		},
+		Timeouts:    wire.Timeouts{Call: 3 * time.Second, LongPoll: 3 * time.Second, Idle: 400 * time.Millisecond},
+		Backoff:     wire.Backoff{Min: 5 * time.Millisecond, Max: 80 * time.Millisecond},
+		StreamGrace: 500 * time.Millisecond,
+		SubLease:    2 * time.Second,
+	}
+	c, err := cluster.NewNetworked(cluster.Config{
+		Replicas:      chaosReplicas,
+		Mode:          mode,
+		Seed:          seed,
+		RecordHistory: true,
+	}, ncfg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, replay)
+	}
+	defer c.Close()
+
+	scale := tpcw.Scale{Items: 50, Customers: 20, Seed: 42}
+	if err := c.LoadData(func(e *storage.Engine) error { return tpcw.Load(e, scale) }); err != nil {
+		t.Fatalf("%v\n%s", err, replay)
+	}
+	tpcw.RegisterAll(c)
+
+	// Fault phase: probabilistic noise on every link plus a partition
+	// agitator cycling through certifier links, replica links, and the
+	// client link.
+	inj.SetActive(true)
+	labels := []string{cluster.LinkClient}
+	for i := 0; i < chaosReplicas; i++ {
+		labels = append(labels, cluster.CertLink(i), cluster.ReplicaLink(i))
+	}
+	stop := make(chan struct{})
+	agDone := make(chan struct{})
+	go func() {
+		defer close(agDone)
+		inj.Agitate(stop, labels, 120*time.Millisecond, 80*time.Millisecond)
+	}()
+
+	const ebs = 6
+	mix := tpcw.ShoppingMix()
+	var wg sync.WaitGroup
+	counts := make([]int, ebs)
+	for i := 0; i < ebs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eb := &tpcw.EB{Mix: mix, Scale: scale, ThinkTime: 2 * time.Millisecond, Retries: 2}
+			counts[i] = eb.Run(c, i, stop)
+		}(i)
+	}
+
+	// Mid-run whole-process failure on top of the link noise: crash
+	// replica 2, then recover it while traffic continues.
+	victim := c.Replica(chaosReplicas - 1)
+	time.Sleep(400 * time.Millisecond)
+	victim.Crash()
+	time.Sleep(400 * time.Millisecond)
+	recoverDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := victim.Recover(); err == nil {
+			break
+		}
+		if time.Now().After(recoverDeadline) {
+			t.Fatalf("replica never recovered\n%s", replay)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(400 * time.Millisecond)
+
+	// Keep traffic flowing until the run produced enough events to be
+	// meaningful: a hostile schedule can park every browser in a
+	// blocked call (the 3s call timeout exceeds a fixed window), which
+	// would make the oracle pass vacuously.
+	extendDeadline := time.Now().Add(8 * time.Second)
+	for c.Recorder().Len() < 10 && time.Now().Before(extendDeadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	close(stop)
+	wg.Wait()
+	<-agDone
+	inj.RestoreAll()
+	inj.SetActive(false)
+
+	// Convergence: with faults healed and traffic stopped, every
+	// replica must reach the certifier's final version.
+	target := c.Certifier().Version()
+	convergeDeadline := time.Now().Add(20 * time.Second)
+	for {
+		caughtUp := true
+		for i := 0; i < chaosReplicas; i++ {
+			if c.Replica(i).Crashed() || c.Replica(i).Version() < target {
+				caughtUp = false
+				break
+			}
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(convergeDeadline) {
+			vs := make([]uint64, chaosReplicas)
+			for i := range vs {
+				vs[i] = c.Replica(i).Version()
+			}
+			t.Fatalf("replicas %v never converged to certifier version %d\n%s", vs, target, replay)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	events := c.Recorder().Events()
+	t.Logf("mode=%s seed=%d: %d interactions, %d committed txns, final version %d", mode, seed, total, len(events), target)
+	if len(events) < 10 {
+		t.Fatalf("only %d events recorded — chaos run was vacuous\n%s", len(events), replay)
+	}
+
+	// The oracle: the guarantees each mode sells must hold under the
+	// full fault schedule.
+	if mode.Strong() {
+		if v := history.CheckStrong(events); len(v) != 0 {
+			t.Errorf("%d strong-consistency violations, first: %v\n%s", len(v), v[0], replay)
+		}
+	}
+	if mode == core.Session {
+		if v := history.CheckSession(events); len(v) != 0 {
+			t.Errorf("%d session violations, first: %v\n%s", len(v), v[0], replay)
+		}
+	}
+	if mode != core.Eager {
+		if v := history.CheckMonotonicSessions(events); len(v) != 0 {
+			t.Errorf("%d monotonic-session violations, first: %v\n%s", len(v), v[0], replay)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
 	"sconrep/internal/wal"
+	"sconrep/internal/wire"
 )
 
 // Config describes a cluster.
@@ -61,13 +62,15 @@ type Cluster struct {
 	nextSess  atomic.Int64
 	nextTxn   atomic.Uint64
 	loaded    bool
+	// net is non-nil for a NewNetworked cluster: sessions then run over
+	// wire clients against a real TCP gateway instead of calling the
+	// balancer in process.
+	net *netCluster
 }
 
-// New builds and starts a cluster.
-func New(cfg Config) (*Cluster, error) {
-	if cfg.Replicas < 1 || cfg.Replicas > 64 {
-		return nil, fmt.Errorf("cluster: replica count %d out of range [1,64]", cfg.Replicas)
-	}
+// newCore builds the pieces shared by the in-process and networked
+// deployments: certifier, collector, recorder, client latency sources.
+func newCore(cfg Config) *Cluster {
 	log := cfg.WAL
 	if log == nil {
 		log = wal.NewMemory()
@@ -90,6 +93,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RecordHistory {
 		c.rec = history.NewRecorder()
 	}
+	return c
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Replicas < 1 || cfg.Replicas > 64 {
+		return nil, fmt.Errorf("cluster: replica count %d out of range [1,64]", cfg.Replicas)
+	}
+	c := newCore(cfg)
 	nodes := make([]lb.Node, 0, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
 		r := replica.New(replica.Config{
@@ -183,8 +195,13 @@ func (c *Cluster) NumReplicas() int { return len(c.replicas) }
 // Balancer exposes the load balancer.
 func (c *Cluster) Balancer() *lb.LoadBalancer { return c.balancer }
 
-// Close detaches all replicas, stopping their appliers.
+// Close detaches all replicas, stopping their appliers; a networked
+// cluster also tears down its servers and wire clients.
 func (c *Cluster) Close() {
+	if c.net != nil {
+		c.net.close(c)
+		return
+	}
 	for _, r := range c.replicas {
 		r.Crash()
 	}
@@ -218,6 +235,14 @@ type Session struct {
 	c   *Cluster
 	id  string
 	lat *latency.Source
+
+	// Networked path: the session's gateway connection. A transport
+	// failure makes wc unusable (its gateway-side version floor is
+	// gone), so ensureClient reconnects under a fresh epoch — to the
+	// consistency oracle the reconnect is a brand-new session, exactly
+	// the guarantee a real client loses when its connection drops.
+	wc    *wire.Client
+	epoch int
 }
 
 // NewSession opens a session with a generated ID.
@@ -234,8 +259,52 @@ func (c *Cluster) SessionWithID(id string) *Session {
 // ID returns the session identifier.
 func (s *Session) ID() string { return s.id }
 
-// Close drops the session's accounting at the balancer.
+// effectiveID is the identifier the gateway (and the history oracle)
+// sees: the base ID, suffixed with the reconnect epoch after the first
+// transport failure.
+func (s *Session) effectiveID() string {
+	if s.epoch == 0 {
+		return s.id
+	}
+	return fmt.Sprintf("%s#%d", s.id, s.epoch)
+}
+
+// ensureClient returns a usable gateway connection, dialing (or
+// re-dialing under a new epoch) as needed.
+func (s *Session) ensureClient() (*wire.Client, error) {
+	if s.wc != nil && !s.wc.Broken() {
+		return s.wc, nil
+	}
+	if s.wc != nil {
+		s.wc.Close()
+		s.wc = nil
+		s.epoch++
+	}
+	n := s.c.net
+	to := n.cfg.ClientTimeouts
+	if to == (wire.Timeouts{}) {
+		to = n.cfg.Timeouts
+	}
+	wc, err := wire.Dial(n.gateway.Addr(), s.effectiveID(),
+		wire.WithDialer(n.cfg.dialer(LinkClient)),
+		wire.WithTimeouts(to))
+	if err != nil {
+		return nil, err
+	}
+	s.wc = wc
+	return wc, nil
+}
+
+// Close drops the session's accounting at the balancer. In networked
+// mode, closing the gateway connection does the same server-side.
 func (s *Session) Close() {
+	if s.c.net != nil {
+		if s.wc != nil {
+			s.wc.Close()
+			s.wc = nil
+		}
+		return
+	}
 	s.c.balancer.EndSession(s.id)
 }
 
@@ -250,12 +319,22 @@ type Tx struct {
 	submit time.Time
 	name   string
 	done   bool
+
+	// Networked path (rtx is nil): the gateway connection the
+	// transaction runs on, its begin snapshot, and the session epoch ID
+	// it was begun under.
+	wc     *wire.Client
+	snap   uint64
+	sessID string
 }
 
 // Begin dispatches a transaction named txnName (the identifier the
 // fine-grained mode resolves to a table-set; any string — including
 // "" — works under the other modes).
 func (s *Session) Begin(txnName string) (*Tx, error) {
+	if s.c.net != nil {
+		return s.netBegin(txnName, nil)
+	}
 	submit := time.Now()
 	// Client → LB → replica.
 	s.lat.NetworkHop()
@@ -276,6 +355,9 @@ func (s *Session) Begin(txnName string) (*Tx, error) {
 // table-set (the paper's footnote-1 alternative to registered
 // transaction names).
 func (s *Session) BeginTables(tables []string) (*Tx, error) {
+	if s.c.net != nil {
+		return s.netBegin("", tables)
+	}
 	submit := time.Now()
 	s.lat.NetworkHop()
 	route, err := s.c.balancer.DispatchTables(s.id, tables)
@@ -291,8 +373,42 @@ func (s *Session) BeginTables(tables []string) (*Tx, error) {
 	return &Tx{s: s, rtx: rtx, timer: timer, submit: submit}, nil
 }
 
+// netBegin starts a transaction over the wire. Begin leaves no state
+// behind when its response is lost (the gateway aborts on connection
+// death), so a transport failure is retried once on a fresh
+// connection.
+func (s *Session) netBegin(txnName string, tables []string) (*Tx, error) {
+	submit := time.Now()
+	for attempt := 0; ; attempt++ {
+		wc, err := s.ensureClient()
+		if err != nil {
+			return nil, err
+		}
+		sessID := s.effectiveID()
+		var snap uint64
+		if len(tables) > 0 {
+			snap, err = wc.BeginTablesTx(tables)
+		} else {
+			snap, err = wc.BeginTx(txnName)
+		}
+		if err != nil {
+			if wc.Broken() && attempt == 0 {
+				continue
+			}
+			return nil, err
+		}
+		return &Tx{
+			s: s, timer: metrics.NewTxnTimer(), submit: submit, name: txnName,
+			wc: wc, snap: snap, sessID: sessID,
+		}, nil
+	}
+}
+
 // Exec runs one prepared statement (one client round trip).
 func (t *Tx) Exec(p *sql.Prepared, params ...any) (*sql.Result, error) {
+	if t.wc != nil {
+		return t.netExec(p.SQL, params...)
+	}
 	t.s.lat.RoundTrip()
 	res, err := t.rtx.Exec(p, params...)
 	if err != nil {
@@ -304,6 +420,9 @@ func (t *Tx) Exec(p *sql.Prepared, params ...any) (*sql.Result, error) {
 
 // ExecSQL runs one ad-hoc statement.
 func (t *Tx) ExecSQL(src string, params ...any) (*sql.Result, error) {
+	if t.wc != nil {
+		return t.netExec(src, params...)
+	}
 	t.s.lat.RoundTrip()
 	res, err := t.rtx.ExecSQL(src, params...)
 	if err != nil {
@@ -313,14 +432,26 @@ func (t *Tx) ExecSQL(src string, params ...any) (*sql.Result, error) {
 	return res, nil
 }
 
+func (t *Tx) netExec(src string, params ...any) (*sql.Result, error) {
+	res, err := t.wc.Exec(src, params...)
+	if err != nil {
+		t.failed(err)
+		return nil, err
+	}
+	return res, nil
+}
+
 // failed marks execution errors that already aborted the transaction
-// at the replica so Commit/Abort do not double-count.
+// at the replica so Commit/Abort do not double-count. A broken wire
+// session is terminal for the transaction the same way.
 func (t *Tx) failed(err error) {
-	if errors.Is(err, replica.ErrEarlyAbort) || errors.Is(err, replica.ErrCrashed) {
-		if !t.done {
-			t.done = true
-			t.s.c.coll.RecordAbort()
-		}
+	terminal := errors.Is(err, replica.ErrEarlyAbort) || errors.Is(err, replica.ErrCrashed)
+	if t.wc != nil && t.wc.Broken() {
+		terminal = true
+	}
+	if terminal && !t.done {
+		t.done = true
+		t.s.c.coll.RecordAbort()
 	}
 }
 
@@ -330,6 +461,13 @@ func (t *Tx) Abort() {
 		return
 	}
 	t.done = true
+	if t.wc != nil {
+		if !t.wc.Broken() {
+			_ = t.wc.Abort()
+		}
+		t.s.c.coll.RecordAbort()
+		return
+	}
 	t.rtx.Abort()
 	t.s.c.coll.RecordAbort()
 }
@@ -341,6 +479,9 @@ func (t *Tx) Commit() (replica.CommitResult, error) {
 		return replica.CommitResult{}, replica.ErrTxnDone
 	}
 	t.done = true
+	if t.wc != nil {
+		return t.netCommit()
+	}
 	t.s.lat.RoundTrip()
 	snapshot := t.rtx.Snapshot()
 	readTables := t.rtx.Touched()
@@ -377,8 +518,47 @@ func (t *Tx) Commit() (replica.CommitResult, error) {
 	return res, nil
 }
 
+// netCommit finishes the transaction over the wire and records the
+// observation for metrics and the history oracle. An event is only
+// recorded when the acknowledgment actually reached this client: a
+// commit whose ack was lost to a fault may well have happened, but the
+// client observed nothing, so the oracle has nothing to hold it to.
+func (t *Tx) netCommit() (replica.CommitResult, error) {
+	info, err := t.wc.CommitEx()
+	if err != nil {
+		t.s.c.coll.RecordAbort()
+		return replica.CommitResult{}, err
+	}
+	acked := time.Now()
+	t.timer.Stop()
+	t.s.c.coll.RecordCommit(t.timer, !info.ReadOnly, acked.Sub(t.submit), 0)
+	if rec := t.s.c.rec; rec != nil {
+		rec.Record(history.Event{
+			TxnID:       t.s.c.nextTxn.Add(1),
+			Session:     t.sessID,
+			ReadOnly:    info.ReadOnly,
+			Submit:      t.submit,
+			Acked:       acked,
+			Snapshot:    info.Snapshot,
+			Commit:      info.Version,
+			WriteTables: info.WriteTables,
+			ReadTables:  info.ReadTables,
+		})
+	}
+	return replica.CommitResult{
+		Version:       info.Version,
+		ReadOnly:      info.ReadOnly,
+		WrittenTables: info.WriteTables,
+	}, nil
+}
+
 // Timer exposes the transaction's stage timer (tests).
 func (t *Tx) Timer() *metrics.TxnTimer { return t.timer }
 
 // Snapshot returns the version the transaction reads.
-func (t *Tx) Snapshot() uint64 { return t.rtx.Snapshot() }
+func (t *Tx) Snapshot() uint64 {
+	if t.wc != nil {
+		return t.snap
+	}
+	return t.rtx.Snapshot()
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"sconrep/internal/core"
+	"sconrep/internal/history"
+	"sconrep/internal/storage"
+	"sconrep/internal/wire"
+)
+
+func loadNetKV(e *storage.Engine) error {
+	err := e.CreateTable(&storage.Schema{
+		Table:   "kv",
+		Columns: []storage.Column{{Name: "k", Type: storage.TInt}, {Name: "v", Type: storage.TString}},
+		Key:     []string{"k"},
+	})
+	if err != nil {
+		return err
+	}
+	tx := e.Begin()
+	for k := int64(0); k < 8; k++ {
+		if err := tx.Insert("kv", []any{k, "init"}); err != nil {
+			return err
+		}
+	}
+	_, err = tx.CommitLocal()
+	return err
+}
+
+func newNetCluster(t *testing.T, mode core.Mode) *Cluster {
+	t.Helper()
+	c, err := NewNetworked(Config{
+		Replicas:      3,
+		Mode:          mode,
+		Seed:          1,
+		RecordHistory: true,
+	}, NetConfig{
+		Timeouts: wire.Timeouts{Call: 5 * time.Second, LongPoll: 5 * time.Second, Idle: 2 * time.Second},
+		Backoff:  wire.Backoff{Min: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.LoadData(loadNetKV); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestNetworkedSmoke drives the wire-backed session path end to end:
+// update via one session, strong read via another, history recorded.
+func TestNetworkedSmoke(t *testing.T) {
+	for _, mode := range []core.Mode{core.Eager, core.Coarse, core.Fine, core.Session} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := newNetCluster(t, mode)
+			s := c.SessionWithID("writer")
+			defer s.Close()
+
+			tx, err := s.Begin("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.ExecSQL(`UPDATE kv SET v = 'networked' WHERE k = 1`); err != nil {
+				t.Fatal(err)
+			}
+			res, err := tx.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ReadOnly || res.Version == 0 {
+				t.Fatalf("commit = %+v", res)
+			}
+
+			s2 := c.SessionWithID("reader")
+			defer s2.Close()
+			for i := 0; i < 4; i++ {
+				tx2, err := s2.Begin("")
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := tx2.ExecSQL(`SELECT v FROM kv WHERE k = 1`)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := tx2.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				got := r.Rows[0][0].(string)
+				if mode.Strong() && got != "networked" {
+					t.Fatalf("strong mode %v read %q on iteration %d", mode, got, i)
+				}
+			}
+
+			events := c.Recorder().Events()
+			if len(events) < 5 {
+				t.Fatalf("recorded %d events, want >= 5", len(events))
+			}
+			if mode.Strong() {
+				if violations := history.CheckStrong(events); len(violations) != 0 {
+					t.Fatalf("strong-consistency violations: %v", violations)
+				}
+			}
+			if violations := history.CheckSession(events); mode == core.Session && len(violations) != 0 {
+				t.Fatalf("session violations: %v", violations)
+			}
+		})
+	}
+}
+
+// TestNetworkedSessionReconnect verifies the epoch discipline: a
+// session whose gateway connection breaks resumes under a fresh
+// session ID, so the oracle never sees one session lose its floor.
+func TestNetworkedSessionReconnect(t *testing.T) {
+	c := newNetCluster(t, core.Session)
+	s := c.SessionWithID("flaky")
+	defer s.Close()
+
+	tx, err := s.Begin("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.ExecSQL(`UPDATE kv SET v = 'one' WHERE k = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.effectiveID(); got != "flaky" {
+		t.Fatalf("effectiveID = %q before any failure", got)
+	}
+
+	// Sever the gateway connection out from under the session.
+	s.wc.Close()
+	// The next transaction must transparently reconnect with a new
+	// epoch.
+	tx2, err := s.Begin("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.ExecSQL(`SELECT v FROM kv WHERE k = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.effectiveID(); got != "flaky#1" {
+		t.Fatalf("effectiveID = %q after reconnect", got)
+	}
+	events := c.Recorder().Events()
+	sessions := map[string]bool{}
+	for _, e := range events {
+		sessions[e.Session] = true
+	}
+	if !sessions["flaky"] || !sessions["flaky#1"] {
+		t.Fatalf("history sessions = %v, want both epochs", sessions)
+	}
+	if violations := history.CheckMonotonicSessions(events); len(violations) != 0 {
+		t.Fatalf("monotonic-session violations: %v", violations)
+	}
+}

@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { defer c.Close(); _, _ = io.Copy(c, c) }()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestCutSeversAndBlocksDials(t *testing.T) {
+	ln := echoServer(t)
+	in := New(1, Config{})
+	dial := in.Dialer("link", nil)
+
+	c, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	in.Cut("link")
+	// The live connection is severed: reads fail promptly.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on cut link succeeded")
+	}
+	// New dials fail with ErrCut.
+	if _, err := dial("tcp", ln.Addr().String()); !errors.Is(err, ErrCut) {
+		t.Fatalf("dial on cut link: got %v, want ErrCut", err)
+	}
+	// Other labels are unaffected.
+	other := in.Dialer("other", nil)
+	oc, err := other("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial on healthy label: %v", err)
+	}
+	oc.Close()
+
+	in.Restore("link")
+	c2, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after restore: %v", err)
+	}
+	c2.Close()
+}
+
+func TestDeterministicDecisionSequence(t *testing.T) {
+	cfg := Config{DialFailProb: 0.3, DropProb: 0.2, DupProb: 0.1, HalfCloseProb: 0.1, DelayProb: 0.5, MaxDelay: time.Millisecond}
+	roll := func(seed int64) []action {
+		in := New(seed, cfg)
+		var acts []action
+		for i := 0; i < 200; i++ {
+			a, _ := in.decide("l", i%2 == 0)
+			acts = append(acts, a)
+		}
+		return acts
+	}
+	a, b := roll(42), roll(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across same-seed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := roll(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestSetActiveSuppressesProbabilisticFaults(t *testing.T) {
+	ln := echoServer(t)
+	in := New(7, Config{DialFailProb: 1.0, DropProb: 1.0})
+	in.SetActive(false)
+	dial := in.Dialer("link", nil)
+	c, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial with faults inactive: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("write with faults inactive: %v", err)
+	}
+	// Reactivating brings the certain faults back.
+	in.SetActive(true)
+	if _, err := dial("tcp", ln.Addr().String()); err == nil {
+		t.Fatal("dial with DialFailProb=1 succeeded")
+	}
+}
+
+func TestDropTearsDownConnection(t *testing.T) {
+	ln := echoServer(t)
+	in := New(3, Config{DropProb: 1.0})
+	dial := in.Dialer("link", nil)
+	c, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write with DropProb=1: got %v, want ErrInjected", err)
+	}
+}

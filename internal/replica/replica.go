@@ -129,6 +129,11 @@ type Replica struct {
 	actives    map[uint64]*Txn
 	crashed    bool
 	applierGen int
+	// minServe is the recovery catch-up floor: the highest version the
+	// certifier had assigned when this replica last recovered. Commits
+	// up to it may already be acknowledged to clients, so transactions
+	// — even ESC ones, whose MinVersion is 0 — must not start below it.
+	minServe uint64
 
 	slots chan struct{}
 
@@ -346,6 +351,11 @@ func (r *Replica) Begin(minVersion uint64, timer *metrics.TxnTimer) (*Txn, error
 	if timer != nil {
 		timer.Start(metrics.StageVersion)
 	}
+	r.mu.Lock()
+	if r.minServe > minVersion {
+		minVersion = r.minServe
+	}
+	r.mu.Unlock()
 	if o := r.obs.Load(); o != nil {
 		waitStart := time.Now()
 		if err := r.WaitVersion(minVersion); err != nil {
@@ -690,6 +700,12 @@ func (r *Replica) Recover() error {
 	for _, ref := range missed {
 		if ref.Version > r.eng.Version() {
 			r.reorder[ref.Version] = ref
+		}
+		// Every replayed version was certified — and possibly
+		// acknowledged — while this replica was down; raise the serve
+		// floor so no transaction reads below it.
+		if ref.Version > r.minServe {
+			r.minServe = ref.Version
 		}
 	}
 	r.applyReadyLocked()

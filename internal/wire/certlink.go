@@ -7,6 +7,8 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sconrep/internal/certifier"
 	"sconrep/internal/obs"
@@ -25,7 +27,9 @@ type certHello struct {
 // certRequest is the request envelope on "req" connections; exactly
 // one field group is set per call.
 type certRequest struct {
-	Op string // "certify", "applied", "history", "globalwait", "version"
+	// Seq numbers requests per connection; see seqGuard.
+	Seq uint64
+	Op  string // "certify", "applied", "history", "globalwait", "version", "unsubscribe"
 
 	// certify
 	Origin   int
@@ -33,7 +37,7 @@ type certRequest struct {
 	Snapshot uint64
 	WS       *writeset.WriteSet
 
-	// applied / globalwait
+	// applied / globalwait / unsubscribe
 	ReplicaID int
 	Version   uint64
 
@@ -43,11 +47,15 @@ type certRequest struct {
 
 // certResponse is the response envelope.
 type certResponse struct {
+	Seq      uint64
 	Err      string
 	Decision certifier.Decision
 	History  []certifier.Refresh
 	Version  uint64
 }
+
+func (r *certRequest) setSeq(n uint64) { r.Seq = n }
+func (r *certResponse) seq() uint64    { return r.Seq }
 
 // refreshBatch is pushed on "sub" connections.
 type refreshBatch struct {
@@ -58,10 +66,15 @@ type refreshBatch struct {
 type CertServer struct {
 	cert *certifier.Certifier
 	ln   net.Listener
+	opts options
 
-	mu      sync.Mutex
-	adopted bool
-	closed  bool
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	// streamGen numbers each replica's subscription streams so a
+	// superseded stream (the replica reconnected) never cancels its
+	// successor's subscription.
+	streamGen map[int]int
 
 	obsReqs *obs.CounterVec // nil-safe until EnableObs
 }
@@ -79,15 +92,22 @@ func (s *CertServer) EnableObs(reg *obs.Registry) {
 }
 
 // ServeCertifier starts serving cert on addr and returns the server.
-// If the certifier is fresh (version 0), the first replica hello's
-// VLocal is adopted via StartAt, aligning the version counter with
-// deterministically bootstrapped replicas.
-func ServeCertifier(cert *certifier.Certifier, addr string) (*CertServer, error) {
+// While the certifier has certified nothing, replica hellos adopt
+// their live VLocal via StartAt, aligning the version counter with
+// deterministically bootstrapped replicas (and with replicas that are
+// ahead after a certifier restart without its decision log).
+func ServeCertifier(cert *certifier.Certifier, addr string, opts ...Option) (*CertServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
-	s := &CertServer{cert: cert, ln: ln}
+	s := &CertServer{
+		cert:      cert,
+		ln:        ln,
+		opts:      buildOptions(opts),
+		conns:     make(map[net.Conn]struct{}),
+		streamGen: make(map[int]int),
+	}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -95,12 +115,23 @@ func ServeCertifier(cert *certifier.Certifier, addr string) (*CertServer, error)
 // Addr returns the bound address.
 func (s *CertServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener.
+// Close stops the listener and severs every live connection.
+// Subscriptions are left to their leases: a certifier server restart
+// is indistinguishable from a partition to the replicas, and they
+// resubscribe the same way.
 func (s *CertServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
-	return s.ln.Close()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
 }
 
 func (s *CertServer) acceptLoop() {
@@ -113,10 +144,35 @@ func (s *CertServer) acceptLoop() {
 	}
 }
 
+// track registers a live connection; it reports false when the server
+// is already closed.
+func (s *CertServer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *CertServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
 func (s *CertServer) handle(c net.Conn) {
 	defer c.Close()
+	if !s.track(c) {
+		return
+	}
+	defer s.untrack(c)
 	dec := gob.NewDecoder(c)
 	enc := gob.NewEncoder(c)
+	if d := s.opts.to.Idle; d > 0 {
+		c.SetReadDeadline(time.Now().Add(d))
+	}
 	var hello certHello
 	if err := dec.Decode(&hello); err != nil {
 		return
@@ -126,30 +182,42 @@ func (s *CertServer) handle(c net.Conn) {
 	case "sub":
 		s.streamRefreshes(c, enc, hello.ReplicaID)
 	case "req":
-		s.serveRequests(dec, enc)
+		s.serveRequests(c, dec, enc)
 	}
 }
 
-// maybeAdopt aligns a fresh certifier with bootstrapped replicas.
+// maybeAdopt aligns a decision-free certifier with bootstrapped
+// replicas. Tried on every hello, not just the first: hellos carry
+// the replica's live Vlocal, so one racing an in-progress bootstrap
+// can land a partial version that a later hello (or the in-process
+// LoadData path) must raise. StartAt itself refuses to move once any
+// decision exists, or to move backwards.
 func (s *CertServer) maybeAdopt(h certHello) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.adopted || h.VLocal == 0 {
+	if h.VLocal == 0 || h.VLocal <= s.cert.Version() {
 		return
 	}
 	if err := s.cert.StartAt(h.VLocal); err == nil {
 		log.Printf("wire: certifier adopted start version %d from replica %d", h.VLocal, h.ReplicaID)
 	}
-	s.adopted = true
 }
 
 func (s *CertServer) streamRefreshes(c net.Conn, enc *gob.Encoder, replicaID int) {
+	s.mu.Lock()
+	s.streamGen[replicaID]++
+	gen := s.streamGen[replicaID]
+	s.mu.Unlock()
 	sub := s.cert.Subscribe(replicaID)
-	defer s.cert.Unsubscribe(replicaID)
+	defer s.releaseStream(replicaID, gen, sub)
+	// The stream only writes; reads would block forever, so drop the
+	// hello deadline.
+	c.SetReadDeadline(time.Time{})
 	for {
 		batch, ok := sub.Take()
 		if !ok {
 			return
+		}
+		if d := s.opts.to.Call; d > 0 {
+			c.SetWriteDeadline(time.Now().Add(d))
 		}
 		if err := enc.Encode(refreshBatch{Refreshes: batch}); err != nil {
 			return
@@ -157,17 +225,55 @@ func (s *CertServer) streamRefreshes(c net.Conn, enc *gob.Encoder, replicaID int
 	}
 }
 
-func (s *CertServer) serveRequests(dec *gob.Decoder, enc *gob.Encoder) {
+// releaseStream runs when a subscription stream dies. If the stream is
+// still the replica's current one, the subscription is kept alive for
+// the lease period — a partitioned replica that reconnects within it
+// resumes without ever being treated as crashed. Cancellation goes
+// through Subscription.Cancel, which is a no-op once a newer
+// subscription (possibly via another server on the same certifier)
+// has replaced this one.
+func (s *CertServer) releaseStream(replicaID, gen int, sub *certifier.Subscription) {
+	s.mu.Lock()
+	current := s.streamGen[replicaID] == gen
+	lease := s.opts.subLease
+	s.mu.Unlock()
+	if !current {
+		return
+	}
+	if lease <= 0 {
+		sub.Cancel()
+		return
+	}
+	time.AfterFunc(lease, func() {
+		s.mu.Lock()
+		expired := s.streamGen[replicaID] == gen
+		s.mu.Unlock()
+		if expired {
+			sub.Cancel()
+		}
+	})
+}
+
+func (s *CertServer) serveRequests(c net.Conn, dec *gob.Decoder, enc *gob.Encoder) {
+	var guard seqGuard
 	for {
+		if d := s.opts.to.Idle; d > 0 {
+			c.SetReadDeadline(time.Now().Add(d))
+		}
 		var req certRequest
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		if !guard.ok(req.Seq) {
+			return
+		}
+		c.SetReadDeadline(time.Time{})
 		s.mu.Lock()
 		reqs := s.obsReqs
 		s.mu.Unlock()
 		reqs.With(req.Op).Inc()
 		var resp certResponse
+		resp.Seq = req.Seq
 		switch req.Op {
 		case "certify":
 			d, err := s.cert.Certify(req.Origin, req.TxnID, req.Snapshot, cloneWS(req.WS))
@@ -183,8 +289,13 @@ func (s *CertServer) serveRequests(dec *gob.Decoder, enc *gob.Encoder) {
 			<-s.cert.GlobalCommitted(req.Version)
 		case "version":
 			resp.Version = s.cert.Version()
+		case "unsubscribe":
+			s.cert.Unsubscribe(req.ReplicaID)
 		default:
 			resp.Err = fmt.Sprintf("wire: unknown certifier op %q", req.Op)
+		}
+		if d := s.opts.to.Call; d > 0 {
+			c.SetWriteDeadline(time.Now().Add(d))
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -193,53 +304,141 @@ func (s *CertServer) serveRequests(dec *gob.Decoder, enc *gob.Encoder) {
 }
 
 // CertClient implements replica.CertService against a remote
-// certifier.
+// certifier. Unlike the pre-hardening client, its refresh subscription
+// survives the certifier link: the local queue stays open across
+// reconnects, each reconnect backfills the refreshes missed (from the
+// replica's live Vlocal when WithVLocal is given), and request calls
+// retry transient transport failures with bounded exponential backoff.
 type CertClient struct {
 	addr      string
 	replicaID int
 	vlocal    uint64
+	opts      options
 	pool      *connPool
 
-	mu    sync.Mutex
-	queue *refreshQueue
-	sub   net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	mu     sync.Mutex
+	queue  *refreshQueue
+	sub    net.Conn
+	subGen int
+
+	// Stream health for the replica serve gate.
+	streamUp  atomic.Bool
+	downSince atomic.Int64 // unix nanos
+	// serveFloor is the certifier version observed at the last
+	// (re)subscribe: everything the certifier may already have
+	// acknowledged to clients. A replica must not serve strong reads
+	// until Vlocal reaches it (see Ready).
+	serveFloor atomic.Uint64
+
+	// Coalesced apply acknowledgments: Applied is called once per
+	// refresh on the applier's hot path, so acks are shipped
+	// asynchronously and collapsed to the highest version (the
+	// certifier treats acks as cumulative).
+	ackMu   sync.Mutex
+	ackMax  uint64
+	ackSent uint64
+	ackBusy bool
 }
 
 var _ replica.CertService = (*CertClient)(nil)
 
 // DialCertifier connects a replica to a remote certifier. vlocal is
 // the replica's bootstrapped version (for StartAt adoption).
-func DialCertifier(addr string, replicaID int, vlocal uint64) *CertClient {
-	return &CertClient{
+func DialCertifier(addr string, replicaID int, vlocal uint64, opts ...Option) *CertClient {
+	o := buildOptions(opts)
+	// The hello's VLocal drives fresh-certifier adoption. It must be the
+	// replica's LIVE version, not the dial-time snapshot: a certifier
+	// restarted without its decision log adopts from the first hello it
+	// sees, and adopting a stale version would hand out already-used
+	// commit versions (crashing every replica past the stale point).
+	hello := func() any {
+		v := vlocal
+		if o.vlocalFn != nil {
+			v = o.vlocalFn()
+		}
+		return certHello{Kind: "req", ReplicaID: replicaID, VLocal: v}
+	}
+	c := &CertClient{
 		addr:      addr,
 		replicaID: replicaID,
 		vlocal:    vlocal,
-		pool:      newConnPool(addr, certHello{Kind: "req", ReplicaID: replicaID, VLocal: vlocal}),
+		opts:      o,
+		pool:      newConnPool(addr, hello, o.dialer(addr), o.to),
+		closed:    make(chan struct{}),
 	}
+	c.downSince.Store(time.Now().UnixNano())
+	return c
 }
 
-func (c *CertClient) call(req certRequest) (certResponse, error) {
+var errClientClosed = errors.New("wire: certifier client closed")
+
+// callRetry performs one certifier call, retrying transport failures
+// with exponential backoff until the client closes or the backoff's
+// MaxElapsed (when set, or the override) runs out. Application-level
+// responses — including abort decisions and certifier errors — return
+// immediately; only the transport retries.
+func (c *CertClient) callRetry(req certRequest, exchange, maxElapsed time.Duration) (certResponse, error) {
+	b := c.opts.backoff
+	if maxElapsed == 0 {
+		maxElapsed = b.MaxElapsed
+	}
+	delay := b.Min
+	start := time.Now()
 	var resp certResponse
-	if err := c.pool.call(&req, &resp); err != nil {
-		return resp, err
-	}
-	if resp.Err != "" {
-		if resp.Err == certifier.ErrSnapshotTooOld.Error() {
-			return resp, certifier.ErrSnapshotTooOld
+	for {
+		select {
+		case <-c.closed:
+			return resp, errClientClosed
+		default:
 		}
-		return resp, errors.New(resp.Err)
+		resp = certResponse{}
+		err := c.pool.callDeadline(&req, &resp, exchange)
+		if err == nil {
+			return c.appErr(resp)
+		}
+		if maxElapsed > 0 && time.Since(start)+delay > maxElapsed {
+			return resp, err
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-c.closed:
+			t.Stop()
+			return resp, errClientClosed
+		case <-t.C:
+		}
+		delay = b.next(delay)
 	}
-	return resp, nil
 }
 
-// Certify implements replica.CertService.
+// appErr maps the response's error string back to an error value,
+// preserving the sentinel the replica branches on.
+func (c *CertClient) appErr(resp certResponse) (certResponse, error) {
+	if resp.Err == "" {
+		return resp, nil
+	}
+	if resp.Err == certifier.ErrSnapshotTooOld.Error() {
+		return resp, certifier.ErrSnapshotTooOld
+	}
+	return resp, errors.New(resp.Err)
+}
+
+// Certify implements replica.CertService. Transport failures retry:
+// the certifier memoizes commit decisions per (origin, txn, snapshot),
+// so a retry after a lost response returns the original decision
+// instead of a spurious conflict.
 func (c *CertClient) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error) {
-	resp, err := c.call(certRequest{Op: "certify", Origin: origin, TxnID: txnID, Snapshot: snapshot, WS: ws})
+	resp, err := c.callRetry(certRequest{Op: "certify", Origin: origin, TxnID: txnID, Snapshot: snapshot, WS: ws}, c.opts.to.Call, 0)
 	return resp.Decision, err
 }
 
-// Subscribe implements replica.CertService: it opens the streaming
-// connection and pumps refresh batches into a local queue.
+// Subscribe implements replica.CertService. The returned queue is
+// fed by a background loop that dials the stream, backfills missed
+// refreshes, and reconnects with backoff when the link drops — the
+// queue itself stays open until Unsubscribe or Close, so the replica's
+// applier never exits on a transient partition.
 func (c *CertClient) Subscribe(replicaID int) replica.RefreshSource {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -248,40 +447,173 @@ func (c *CertClient) Subscribe(replicaID int) replica.RefreshSource {
 	}
 	if c.sub != nil {
 		c.sub.Close()
+		c.sub = nil
 	}
+	c.subGen++
 	q := newRefreshQueue()
 	c.queue = q
-	conn, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		log.Printf("wire: subscribe dial %s: %v", c.addr, err)
-		q.close()
-		return q
-	}
-	c.sub = conn
-	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(certHello{Kind: "sub", ReplicaID: replicaID, VLocal: c.vlocal}); err != nil {
-		conn.Close()
-		q.close()
-		return q
-	}
-	go func() {
-		dec := gob.NewDecoder(conn)
-		for {
-			var batch refreshBatch
-			if err := dec.Decode(&batch); err != nil {
-				q.close()
-				return
-			}
-			q.push(batch.Refreshes)
-		}
-	}()
+	go c.subLoop(c.subGen, q)
 	return q
 }
 
-// Unsubscribe implements replica.CertService.
-func (c *CertClient) Unsubscribe(replicaID int) {
+// subscribed reports whether gen is still the current subscription.
+func (c *CertClient) subscribed(gen int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.subGen == gen && c.queue != nil
+}
+
+// subLoop maintains the refresh stream for one subscription
+// generation: connect, learn the certifier's current version (the
+// serve floor), backfill missed refreshes, then pump batches until the
+// stream breaks; repeat with backoff.
+func (c *CertClient) subLoop(gen int, q *refreshQueue) {
+	b := c.opts.backoff
+	delay := b.Min
+	for {
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		if !c.subscribed(gen) {
+			return
+		}
+		if c.runStream(gen, q) {
+			delay = b.Min // made progress: reset the backoff
+		}
+		c.streamDown()
+		t := time.NewTimer(delay)
+		select {
+		case <-c.closed:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		delay = b.next(delay)
+	}
+}
+
+// runStream performs one connect-backfill-pump cycle; it reports
+// whether the stream got as far as delivering refreshes (for backoff
+// reset).
+func (c *CertClient) runStream(gen int, q *refreshQueue) bool {
+	dial := c.opts.dialer(c.addr)
+	conn, err := dial("tcp", c.addr)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	if c.subGen != gen {
+		c.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	c.sub = conn
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if c.sub == conn {
+			c.sub = nil
+		}
+		c.mu.Unlock()
+		conn.Close()
+	}()
+
+	from := c.vlocal
+	if c.opts.vlocalFn != nil {
+		from = c.opts.vlocalFn()
+	}
+	enc := gob.NewEncoder(conn)
+	if d := c.opts.to.Call; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := enc.Encode(certHello{Kind: "sub", ReplicaID: c.replicaID, VLocal: from}); err != nil {
+		return false
+	}
+	conn.SetWriteDeadline(time.Time{})
+
+	// The serve floor must be learned before this replica serves again:
+	// every version the certifier has assigned so far may already be
+	// acknowledged to some client, so strong reads must wait for it.
+	// Then backfill what the replica missed while disconnected; the
+	// replica's reorder buffer deduplicates overlap with the stream.
+	ver, err := c.callRetry(certRequest{Op: "version"}, c.opts.to.Call, c.opts.backoff.Max)
+	if err != nil {
+		return false
+	}
+	if v := ver.Version; v > c.serveFloor.Load() {
+		c.serveFloor.Store(v)
+	}
+	if from < ver.Version {
+		hist, err := c.callRetry(certRequest{Op: "history", After: from}, c.opts.to.Call, c.opts.backoff.Max)
+		if err != nil {
+			return false
+		}
+		if len(hist.History) > 0 {
+			q.push(hist.History)
+		}
+	}
+
+	c.streamUp.Store(true)
+	defer c.streamDown()
+	dec := gob.NewDecoder(conn)
+	for {
+		if d := c.opts.to.Idle; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
+		var batch refreshBatch
+		if err := dec.Decode(&batch); err != nil {
+			return true
+		}
+		if !c.subscribed(gen) {
+			return true
+		}
+		q.push(batch.Refreshes)
+	}
+}
+
+func (c *CertClient) streamDown() {
+	if c.streamUp.CompareAndSwap(true, false) {
+		c.downSince.Store(time.Now().UnixNano())
+	}
+}
+
+// StreamLive reports whether the refresh stream is connected, or has
+// been down for less than grace.
+func (c *CertClient) StreamLive(grace time.Duration) bool {
+	if c.streamUp.Load() {
+		return true
+	}
+	if grace <= 0 {
+		return false
+	}
+	return time.Since(time.Unix(0, c.downSince.Load())) < grace
+}
+
+// Ready reports whether this replica may serve strong reads: its
+// refresh stream is live (within grace) and its Vlocal has reached the
+// serve floor recorded at the last (re)subscribe. The second condition
+// closes the reconnect window: right after a partition heals the
+// stream is up but the replica may still be applying the backlog, and
+// serving during that window would return stale strong reads.
+// Requires WithVLocal; without it only stream health is checked.
+func (c *CertClient) Ready(grace time.Duration) bool {
+	if !c.StreamLive(grace) {
+		return false
+	}
+	if c.opts.vlocalFn != nil {
+		return c.opts.vlocalFn() >= c.serveFloor.Load()
+	}
+	return true
+}
+
+// Unsubscribe implements replica.CertService: an explicit detach
+// (crash), told to the certifier so eager commits stop waiting for
+// this replica immediately instead of after the lease.
+func (c *CertClient) Unsubscribe(replicaID int) {
+	c.mu.Lock()
+	c.subGen++
 	if c.sub != nil {
 		c.sub.Close()
 		c.sub = nil
@@ -290,24 +622,69 @@ func (c *CertClient) Unsubscribe(replicaID int) {
 		c.queue.close()
 		c.queue = nil
 	}
+	c.mu.Unlock()
+	c.streamDown()
+	// Best effort: a partition here means the server-side lease cleans
+	// up instead.
+	_, _ = c.callRetry(certRequest{Op: "unsubscribe", ReplicaID: replicaID}, c.opts.to.Call, c.opts.backoff.Max)
 }
 
-// Applied implements replica.CertService.
+// Applied implements replica.CertService. Acks are shipped
+// asynchronously, coalesced to the highest applied version; the
+// certifier's accounting is cumulative, so collapsed and retried acks
+// are safe.
 func (c *CertClient) Applied(replicaID int, v uint64) {
-	if _, err := c.call(certRequest{Op: "applied", ReplicaID: replicaID, Version: v}); err != nil {
-		log.Printf("wire: applied(%d): %v", v, err)
+	c.ackMu.Lock()
+	if v > c.ackMax {
+		c.ackMax = v
+	}
+	if c.ackBusy {
+		c.ackMu.Unlock()
+		return
+	}
+	c.ackBusy = true
+	c.ackMu.Unlock()
+	go c.ackLoop()
+}
+
+func (c *CertClient) ackLoop() {
+	for {
+		c.ackMu.Lock()
+		v := c.ackMax
+		if v <= c.ackSent {
+			c.ackBusy = false
+			c.ackMu.Unlock()
+			return
+		}
+		c.ackMu.Unlock()
+		if _, err := c.callRetry(certRequest{Op: "applied", ReplicaID: c.replicaID, Version: v}, c.opts.to.Call, 0); err != nil {
+			log.Printf("wire: applied(%d): %v", v, err)
+			c.ackMu.Lock()
+			c.ackBusy = false
+			c.ackMu.Unlock()
+			return
+		}
+		c.ackMu.Lock()
+		if v > c.ackSent {
+			c.ackSent = v
+		}
+		c.ackMu.Unlock()
 	}
 }
 
-// GlobalCommitted implements replica.CertService. The returned channel
-// closes when the remote wait completes (or the link fails — blocking
-// a commit forever on a dead certifier would be worse than a spurious
-// early ack, and the paper's certifier is assumed recoverable).
+// GlobalCommitted implements replica.CertService. The wait retries
+// across certifier reconnects (GlobalCommitted is idempotent: once
+// satisfied, the certifier answers immediately); the channel closes
+// early only if the client itself is shut down.
 func (c *CertClient) GlobalCommitted(v uint64) <-chan struct{} {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, err := c.call(certRequest{Op: "globalwait", Version: v}); err != nil {
+		exchange := c.opts.to.LongPoll
+		if exchange == 0 {
+			exchange = c.opts.to.Call
+		}
+		if _, err := c.callRetry(certRequest{Op: "globalwait", Version: v}, exchange, 0); err != nil {
 			log.Printf("wire: globalwait(%d): %v", v, err)
 		}
 	}()
@@ -318,13 +695,16 @@ func (c *CertClient) GlobalCommitted(v uint64) <-chan struct{} {
 // the system-wide watermark a replica compares its Vlocal against to
 // report replication lag on /healthz.
 func (c *CertClient) Version() (uint64, error) {
-	resp, err := c.call(certRequest{Op: "version"})
-	return resp.Version, err
+	var resp certResponse
+	if err := c.pool.callDeadline(&certRequest{Op: "version"}, &resp, c.opts.to.Call); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
 }
 
 // History implements replica.CertService.
 func (c *CertClient) History(after uint64) []certifier.Refresh {
-	resp, err := c.call(certRequest{Op: "history", After: after})
+	resp, err := c.callRetry(certRequest{Op: "history", After: after}, c.opts.to.Call, c.opts.backoff.Max)
 	if err != nil {
 		log.Printf("wire: history(%d): %v", after, err)
 		return nil
@@ -334,6 +714,17 @@ func (c *CertClient) History(after uint64) []certifier.Refresh {
 
 // Close tears down the client.
 func (c *CertClient) Close() {
-	c.Unsubscribe(c.replicaID)
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.mu.Lock()
+	c.subGen++
+	if c.sub != nil {
+		c.sub.Close()
+		c.sub = nil
+	}
+	if c.queue != nil {
+		c.queue.close()
+		c.queue = nil
+	}
+	c.mu.Unlock()
 	c.pool.close()
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"sconrep/internal/sql"
 )
@@ -14,33 +16,66 @@ type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	to   Timeouts
+	seq  uint64
+	// broken is set on any transport error: the session's gateway state
+	// is unknown and the caller must reconnect with a fresh session.
+	broken atomic.Bool
 }
 
 // Dial opens a session against a gateway.
-func Dial(addr, sessionID string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func Dial(addr, sessionID string, opts ...Option) (*Client, error) {
+	o := buildOptions(opts)
+	conn, err := o.dialer(addr)("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial gateway %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), to: o.to}
+	if d := o.to.Call; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	if err := c.enc.Encode(clientHello{SessionID: sessionID}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("wire: hello: %w", err)
 	}
+	conn.SetWriteDeadline(time.Time{})
 	return c, nil
 }
 
 // Close ends the session.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Broken reports whether the session hit a transport error. A broken
+// client cannot be reused: the gateway may have already aborted the
+// open transaction and dropped the session's version floor.
+func (c *Client) Broken() bool { return c.broken.Load() }
+
 func (c *Client) call(req clientRequest) (*clientResponse, error) {
+	if c.broken.Load() {
+		return nil, fmt.Errorf("wire: session broken, reconnect")
+	}
+	c.seq++
+	req.Seq = c.seq
+	if d := c.to.Call; d > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	if err := c.enc.Encode(&req); err != nil {
+		c.broken.Store(true)
 		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	if d := c.to.Call; d > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(d))
 	}
 	var resp clientResponse
 	if err := c.dec.Decode(&resp); err != nil {
+		c.broken.Store(true)
 		return nil, fmt.Errorf("wire: recv: %w", err)
 	}
+	if resp.Seq != c.seq {
+		c.broken.Store(true)
+		return nil, fmt.Errorf("wire: response out of sequence (got %d, want %d)", resp.Seq, c.seq)
+	}
+	c.conn.SetDeadline(time.Time{})
 	if resp.Err != "" {
 		fake := replicaResponse{Err: resp.Err, ErrCode: resp.ErrCode}
 		return &resp, decodeErr(&fake)
@@ -57,8 +92,28 @@ func (c *Client) RegisterTxn(name string, tables []string) error {
 
 // Begin starts a transaction under the given name.
 func (c *Client) Begin(txnName string) error {
-	_, err := c.call(clientRequest{Op: "begin", TxnName: txnName})
+	_, err := c.BeginTx(txnName)
 	return err
+}
+
+// BeginTx starts a transaction and returns the snapshot version it
+// reads at.
+func (c *Client) BeginTx(txnName string) (snapshot uint64, err error) {
+	resp, err := c.call(clientRequest{Op: "begin", TxnName: txnName})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Snapshot, nil
+}
+
+// BeginTablesTx starts a transaction tagged with an explicit table-set
+// (the fine-grained mode's footnote-1 alternative to registration).
+func (c *Client) BeginTablesTx(tables []string) (snapshot uint64, err error) {
+	resp, err := c.call(clientRequest{Op: "begin", Tables: tables})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Snapshot, nil
 }
 
 // Exec runs one SQL statement in the open transaction.
@@ -70,14 +125,40 @@ func (c *Client) Exec(query string, params ...any) (*sql.Result, error) {
 	return resp.Result, nil
 }
 
+// CommitInfo describes an acknowledged commit as the client saw it.
+type CommitInfo struct {
+	// Version is the commit version (snapshot version when ReadOnly).
+	Version  uint64
+	ReadOnly bool
+	// Snapshot is the version the transaction read at.
+	Snapshot uint64
+	// WriteTables / ReadTables are the observed table-sets, for the
+	// history checker.
+	WriteTables []string
+	ReadTables  []string
+}
+
 // Commit finishes the open transaction and returns the commit version
 // (snapshot version for read-only transactions).
 func (c *Client) Commit() (version uint64, readOnly bool, err error) {
+	info, err := c.CommitEx()
+	return info.Version, info.ReadOnly, err
+}
+
+// CommitEx finishes the open transaction and returns the full commit
+// observation.
+func (c *Client) CommitEx() (CommitInfo, error) {
 	resp, err := c.call(clientRequest{Op: "commit"})
 	if err != nil {
-		return 0, false, err
+		return CommitInfo{}, err
 	}
-	return resp.Version, resp.ReadOnly, nil
+	return CommitInfo{
+		Version:     resp.Version,
+		ReadOnly:    resp.ReadOnly,
+		Snapshot:    resp.Snapshot,
+		WriteTables: resp.WriteTables,
+		ReadTables:  resp.ReadTables,
+	}, nil
 }
 
 // Abort discards the open transaction.

@@ -23,9 +23,11 @@ type clientHello struct {
 }
 
 type clientRequest struct {
-	Op string // "register", "begin", "exec", "commit", "abort"
+	// Seq numbers requests per connection; see seqGuard.
+	Seq uint64
+	Op  string // "register", "begin", "exec", "commit", "abort"
 
-	// register
+	// register; for begin, an explicit table-set (DispatchTables)
 	Name   string
 	Tables []string
 
@@ -38,12 +40,17 @@ type clientRequest struct {
 }
 
 type clientResponse struct {
+	Seq     uint64
 	Err     string
 	ErrCode string
 	Result  *sql.Result
+	// begin / commit
+	Snapshot uint64
 	// commit
-	Version  uint64
-	ReadOnly bool
+	Version     uint64
+	ReadOnly    bool
+	WriteTables []string
+	ReadTables  []string
 }
 
 // Gateway is the networked load balancer: it accepts client sessions,
@@ -54,8 +61,11 @@ type Gateway struct {
 	replicas []*remoteReplica
 	ln       net.Listener
 	stop     chan struct{}
+	opts     options
 
 	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
 	obsReqs  *obs.CounterVec // nil-safe until EnableObs
 	sessions atomic.Int64
 }
@@ -79,15 +89,15 @@ func (g *Gateway) EnableObs(reg *obs.Registry) {
 
 // ServeGateway starts a gateway on addr routing to the given replica
 // addresses under the given consistency mode.
-func ServeGateway(addr string, mode core.Mode, replicaAddrs []string) (*Gateway, error) {
+func ServeGateway(addr string, mode core.Mode, replicaAddrs []string, opts ...Option) (*Gateway, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
-	g := &Gateway{ln: ln, stop: make(chan struct{})}
+	g := &Gateway{ln: ln, stop: make(chan struct{}), opts: buildOptions(opts), conns: make(map[net.Conn]struct{})}
 	nodes := make([]lb.Node, 0, len(replicaAddrs))
 	for i, a := range replicaAddrs {
-		rr := newRemoteReplica(i, a)
+		rr := newRemoteReplica(i, a, &g.opts)
 		g.replicas = append(g.replicas, rr)
 		nodes = append(nodes, rr)
 	}
@@ -100,10 +110,25 @@ func ServeGateway(addr string, mode core.Mode, replicaAddrs []string) (*Gateway,
 // Addr returns the bound address.
 func (g *Gateway) Addr() string { return g.ln.Addr().String() }
 
-// Close stops the gateway.
+// Close stops the gateway: listener, live client sessions, and the
+// replica connection pools.
 func (g *Gateway) Close() error {
 	close(g.stop)
-	return g.ln.Close()
+	g.mu.Lock()
+	g.closed = true
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	err := g.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, r := range g.replicas {
+		r.pool.close()
+	}
+	return err
 }
 
 // Balancer exposes the LB (tests).
@@ -146,6 +171,18 @@ type gatewaySession struct {
 
 func (g *Gateway) handle(c net.Conn) {
 	defer c.Close()
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.conns[c] = struct{}{}
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, c)
+		g.mu.Unlock()
+	}()
 	dec := gob.NewDecoder(c)
 	enc := gob.NewEncoder(c)
 	var hello clientHello
@@ -162,12 +199,17 @@ func (g *Gateway) handle(c net.Conn) {
 		}
 		g.balancer.EndSession(sess.id)
 	}()
+	var guard seqGuard
 	for {
 		var req clientRequest
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		if !guard.ok(req.Seq) {
+			return
+		}
 		resp := g.dispatch(sess, &req)
+		resp.Seq = req.Seq
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -192,7 +234,13 @@ func (g *Gateway) dispatch(sess *gatewaySession, req *clientRequest) *clientResp
 		if sess.open {
 			return fail(errors.New("wire: transaction already open on this session"))
 		}
-		route, err := g.balancer.Dispatch(sess.id, req.TxnName)
+		var route lb.Route
+		var err error
+		if len(req.Tables) > 0 {
+			route, err = g.balancer.DispatchTables(sess.id, req.Tables)
+		} else {
+			route, err = g.balancer.Dispatch(sess.id, req.TxnName)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -206,6 +254,7 @@ func (g *Gateway) dispatch(sess *gatewaySession, req *clientRequest) *clientResp
 		sess.replica = rr
 		sess.txnID = r.TxnID
 		sess.open = true
+		resp.Snapshot = r.Snapshot
 	case "exec":
 		if !sess.open {
 			return fail(errors.New("wire: no open transaction"))
@@ -233,6 +282,9 @@ func (g *Gateway) dispatch(sess *gatewaySession, req *clientRequest) *clientResp
 		g.balancer.ObserveCommit(sess.id, r.Commit)
 		resp.Version = r.Commit.Version
 		resp.ReadOnly = r.Commit.ReadOnly
+		resp.Snapshot = r.Snapshot
+		resp.WriteTables = r.Commit.WrittenTables
+		resp.ReadTables = r.Touched
 	case "abort":
 		if sess.open {
 			sess.open = false

@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/core"
+	"sconrep/internal/metrics"
+	"sconrep/internal/replica"
+	"sconrep/internal/storage"
+)
+
+// TestCallDeadlineOnStalledPeer guards the deadline hardening: a peer
+// that accepts the request but never responds must not hang the call
+// forever. Before wire carried deadlines, this test deadlocked.
+func TestCallDeadlineOnStalledPeer(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		// Drain the hello and the first request, then go silent.
+		dec := gob.NewDecoder(server)
+		var h certHello
+		_ = dec.Decode(&h)
+		var req certRequest
+		_ = dec.Decode(&req)
+		select {} // stall forever; Close from the deferred cleanup frees us
+	}()
+	dial := func(network, addr string) (net.Conn, error) { return client, nil }
+	p := newConnPool("stalled", certHello{Kind: "req"}, dial, Timeouts{Call: 100 * time.Millisecond})
+	start := time.Now()
+	var resp certResponse
+	err := p.call(&certRequest{Op: "version"}, &resp)
+	if err == nil {
+		t.Fatal("call against a stalled peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %s to fire", elapsed)
+	}
+}
+
+// TestCallDeadlineOnDeafPeer is the write-side variant: the peer never
+// reads, so even the hello cannot flush. The write deadline must fail
+// the call.
+func TestCallDeadlineOnDeafPeer(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	dial := func(network, addr string) (net.Conn, error) { return client, nil }
+	p := newConnPool("deaf", certHello{Kind: "req"}, dial, Timeouts{Call: 100 * time.Millisecond})
+	start := time.Now()
+	var resp certResponse
+	err := p.call(&certRequest{Op: "version"}, &resp)
+	if err == nil {
+		t.Fatal("call against a deaf peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("write deadline took %s to fire", elapsed)
+	}
+}
+
+// TestSeqGuardDropsDuplicatedFrame: a duplicated request frame (the
+// fault injector's DupProb, or any replaying middlebox) must kill the
+// connection before the duplicate executes.
+func TestSeqGuardDropsDuplicatedFrame(t *testing.T) {
+	d := newDeployment(t, 1, core.Coarse)
+	conn, err := net.Dial("tcp", d.repSrvs[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&replicaRequest{Seq: 1, Op: "status"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp replicaResponse
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 1 || resp.Crashed {
+		t.Fatalf("status = %+v", resp)
+	}
+	// Replay the same sequence number: the server must drop the
+	// connection without serving it.
+	if err := enc.Encode(&replicaRequest{Seq: 1, Op: "status"}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := dec.Decode(&resp); err == nil {
+		t.Fatal("duplicated frame was served instead of dropping the connection")
+	}
+}
+
+// TestCertClientResubscribeAfterServerRestart is the reconnect
+// regression: kill the certifier server mid-stream, advance the
+// certifier while the replica is partitioned, restart the server on
+// the same port, and require the replica to catch up without missing a
+// refresh.
+func TestCertClientResubscribeAfterServerRestart(t *testing.T) {
+	cert := certifier.New()
+	srv, err := ServeCertifier(cert, "127.0.0.1:0",
+		WithTimeouts(Timeouts{Call: 2 * time.Second, LongPoll: 2 * time.Second, Idle: 200 * time.Millisecond}),
+		WithBackoff(Backoff{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	// Replica 0 attaches over the wire.
+	eng := storage.NewEngine()
+	loadKV(t, eng)
+	cc := DialCertifier(addr, 0, eng.Version(),
+		WithTimeouts(Timeouts{Call: 2 * time.Second, LongPoll: 2 * time.Second, Idle: 200 * time.Millisecond}),
+		WithBackoff(Backoff{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond}),
+		WithVLocal(eng.Version))
+	defer cc.Close()
+	rep := replica.New(replica.Config{ID: 0, EarlyCert: true}, eng, cc)
+	defer rep.Crash()
+
+	// The client's hello carries VLocal for start-version adoption and
+	// lands asynchronously; wait for it before committing anything.
+	adopt := time.Now().Add(5 * time.Second)
+	for cert.Version() != eng.Version() {
+		if time.Now().After(adopt) {
+			t.Fatalf("certifier never adopted start version %d", eng.Version())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Replica 1 attaches in process, so it can keep committing while
+	// the wire server is down.
+	eng2 := storage.NewEngine()
+	loadKV(t, eng2)
+	rep2 := replica.New(replica.Config{ID: 1, EarlyCert: true}, eng2, replica.Local(cert))
+	defer rep2.Crash()
+
+	commit := func(r *replica.Replica, stmt string) uint64 {
+		t.Helper()
+		tx, err := r.Begin(0, metrics.NewTxnTimer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.ExecSQL(stmt); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tx.Commit(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Version
+	}
+	waitVersion := func(r *replica.Replica, v uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for r.Version() < v {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d stuck at version %d, want %d", r.ID(), r.Version(), v)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	v1 := commit(rep2, `UPDATE kv SET v = 'one' WHERE k = 1`)
+	waitVersion(rep, v1) // stream works before the restart
+
+	// Kill the server mid-stream. The client's queue must survive.
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for cc.StreamLive(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("stream still reported live after server close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The world moves on while replica 0 is partitioned.
+	v2 := commit(rep2, `UPDATE kv SET v = 'two' WHERE k = 2`)
+	v3 := commit(rep2, `UPDATE kv SET v = 'three' WHERE k = 3`)
+	if rep.Version() >= v2 {
+		t.Fatalf("partitioned replica saw version %d", rep.Version())
+	}
+
+	// Restart on the same port; the client must resubscribe from its
+	// Vlocal and backfill v2 and v3 with no gap.
+	srv2, err := ServeCertifier(cert, addr,
+		WithTimeouts(Timeouts{Call: 2 * time.Second, LongPoll: 2 * time.Second, Idle: 200 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	waitVersion(rep, v3)
+
+	got := snapshotKV(t, eng)
+	if got[2] != "two" || got[3] != "three" {
+		t.Fatalf("recovered state = %v", got)
+	}
+	if !cc.Ready(0) {
+		t.Fatal("client not Ready after catch-up")
+	}
+	_ = v2
+}
+
+// TestLossyCertifierRestartAdoptsLiveVersion: a certifier restarted
+// WITHOUT its decision log adopts its start version from the first
+// hello. That hello must carry the replica's LIVE Vlocal — adopting
+// the dial-time snapshot would re-assign already-used commit versions
+// and crash every replica past the stale point.
+func TestLossyCertifierRestartAdoptsLiveVersion(t *testing.T) {
+	to := Timeouts{Call: 2 * time.Second, LongPoll: 2 * time.Second, Idle: 200 * time.Millisecond}
+	bo := Backoff{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+	cert := certifier.New()
+	srv, err := ServeCertifier(cert, "127.0.0.1:0", WithTimeouts(to), WithBackoff(bo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	eng := storage.NewEngine()
+	loadKV(t, eng)
+	boot := eng.Version()
+	cc := DialCertifier(addr, 0, boot, WithTimeouts(to), WithBackoff(bo), WithVLocal(eng.Version))
+	defer cc.Close()
+	rep := replica.New(replica.Config{ID: 0, EarlyCert: true}, eng, cc)
+	defer rep.Crash()
+
+	commit := func(stmt string) uint64 {
+		t.Helper()
+		tx, err := rep.Begin(0, metrics.NewTxnTimer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.ExecSQL(stmt); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tx.Commit(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Version
+	}
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	wait(func() bool { return cert.Version() == boot }, "bootstrap adoption")
+
+	// Move the replica well past its bootstrap version.
+	var v uint64
+	for i := 1; i <= 3; i++ {
+		v = commit(fmt.Sprintf(`UPDATE kv SET v = 'x%d' WHERE k = %d`, i, i))
+	}
+	wait(func() bool { return eng.Version() == v }, "commits applied")
+
+	// Lossy restart: a FRESH certifier on the same port, no WAL replay.
+	srv.Close()
+	fresh := certifier.New()
+	srv2, err := ServeCertifier(fresh, addr, WithTimeouts(to), WithBackoff(bo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	// Adoption must land on the live version v, not the bootstrap one.
+	wait(func() bool { return fresh.Version() == v }, "live-version adoption")
+	wait(func() bool { return cc.Ready(0) }, "client ready after restart")
+
+	// The next commit gets a never-used version and applies cleanly.
+	if got := commit(`UPDATE kv SET v = 'after' WHERE k = 1`); got != v+1 {
+		t.Fatalf("post-restart commit got version %d, want %d", got, v+1)
+	}
+	if kv := snapshotKV(t, eng); kv[1] != "after" {
+		t.Fatalf("post-restart state = %v", kv)
+	}
+}

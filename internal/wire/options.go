@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrUnavailable marks a replica that is temporarily not serving —
+// its refresh stream is down or it is catching up after a partition.
+// The gateway reroutes; clients may retry.
+var ErrUnavailable = errors.New("wire: replica unavailable")
+
+// Dialer opens one connection; the fault injector and tests substitute
+// their own. Nil means net.Dial.
+type Dialer func(network, addr string) (net.Conn, error)
+
+// Timeouts bounds wire I/O. Zero fields mean no deadline (the
+// pre-hardening behavior).
+type Timeouts struct {
+	// Call bounds one request/response exchange: the write deadline for
+	// the request and the read deadline for the response.
+	Call time.Duration
+	// LongPoll replaces Call on deliberately long-blocking calls (the
+	// eager global-commit wait).
+	LongPoll time.Duration
+	// Idle is a server-side read deadline between requests and the
+	// subscription stream's per-batch receive deadline. Idle
+	// connections beyond it are torn down; pooled clients re-dial
+	// transparently and the subscription reconnects, so Idle doubles as
+	// the stream's partition detector.
+	Idle time.Duration
+}
+
+// Backoff is a bounded exponential backoff schedule for reconnects and
+// retried calls.
+type Backoff struct {
+	Min time.Duration
+	Max time.Duration
+	// MaxElapsed caps the total retry span of one logical operation;
+	// zero retries until the owner closes.
+	MaxElapsed time.Duration
+}
+
+func (b Backoff) orDefault() Backoff {
+	if b.Min <= 0 {
+		b.Min = 20 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	return b
+}
+
+// next doubles the delay up to Max.
+func (b Backoff) next(d time.Duration) time.Duration {
+	d *= 2
+	if d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// options collects the knobs shared across wire constructors.
+type options struct {
+	dialFor  func(addr string) Dialer
+	to       Timeouts
+	backoff  Backoff
+	subLease time.Duration
+	gate     func() error
+	vlocalFn func() uint64
+}
+
+// Option configures a wire endpoint.
+type Option func(*options)
+
+// WithDialer uses d for every outbound connection.
+func WithDialer(d Dialer) Option {
+	return func(o *options) { o.dialFor = func(string) Dialer { return d } }
+}
+
+// WithDialerFunc selects a dialer per destination address — the hook
+// the fault injector uses to give each link its own label.
+func WithDialerFunc(f func(addr string) Dialer) Option {
+	return func(o *options) { o.dialFor = f }
+}
+
+// WithTimeouts bounds the endpoint's I/O.
+func WithTimeouts(t Timeouts) Option {
+	return func(o *options) { o.to = t }
+}
+
+// WithBackoff sets the reconnect/retry schedule.
+func WithBackoff(b Backoff) Option {
+	return func(o *options) { o.backoff = b }
+}
+
+// SubLeaseNone disables the subscription lease: a dropped stream
+// unsubscribes its replica immediately.
+const SubLeaseNone = -1
+
+// WithSubLease sets how long the certifier server keeps a replica
+// subscribed after its refresh stream drops (CertServer). Within the
+// lease a reconnecting replica resumes its subscription — and, under
+// eager mode, commits keep waiting for it, which is what prevents a
+// briefly partitioned replica from being silently excluded from the
+// global commit. Past the lease the replica is unsubscribed as
+// crashed. Zero means the default (10s); SubLeaseNone disables.
+func WithSubLease(d time.Duration) Option {
+	return func(o *options) { o.subLease = d }
+}
+
+// WithGate installs a serve gate on a replica server: begin requests
+// fail with the gate's error while it is non-nil. The gate is how a
+// replica that has lost its refresh stream (or is catching up after
+// one) stops serving possibly stale strong reads.
+func WithGate(g func() error) Option {
+	return func(o *options) { o.gate = g }
+}
+
+// WithVLocal gives the certifier client a live view of the replica's
+// durable version, used to backfill missed refreshes on reconnect.
+func WithVLocal(f func() uint64) Option {
+	return func(o *options) { o.vlocalFn = f }
+}
+
+const defaultSubLease = 10 * time.Second
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, op := range opts {
+		op(&o)
+	}
+	o.backoff = o.backoff.orDefault()
+	if o.subLease == 0 {
+		o.subLease = defaultSubLease
+	}
+	return o
+}
+
+// dialer resolves the dialer for addr (never nil).
+func (o *options) dialer(addr string) Dialer {
+	if o.dialFor != nil {
+		if d := o.dialFor(addr); d != nil {
+			return d
+		}
+	}
+	return net.Dial
+}

@@ -7,7 +7,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"sconrep/internal/lb"
 	"sconrep/internal/metrics"
 	"sconrep/internal/obs"
 	"sconrep/internal/replica"
@@ -17,7 +19,9 @@ import (
 // Replica-link protocol (gateway ⇄ replica).
 
 type replicaRequest struct {
-	Op string // "begin", "exec", "commit", "abort", "status"
+	// Seq numbers requests per connection; see seqGuard.
+	Seq uint64
+	Op  string // "begin", "exec", "commit", "abort", "status"
 
 	// begin
 	MinVersion uint64
@@ -30,18 +34,43 @@ type replicaRequest struct {
 }
 
 type replicaResponse struct {
+	Seq     uint64
 	Err     string
-	ErrCode string // "conflict", "crashed", "" — retryability over the wire
+	ErrCode string // "conflict", "crashed", "unavailable", "" — retryability over the wire
 
 	TxnID    uint64
 	Snapshot uint64
 	Result   *sql.Result
 	Commit   replica.CommitResult
+	// Touched is the transaction's observed table-set at commit (reads
+	// and writes) — forwarded to the history checker.
+	Touched []string
 
 	// status
 	Version uint64
 	Active  int
 	Crashed bool
+	// Ready reports the serve gate: false while the replica's refresh
+	// stream is down or it is catching up after a partition.
+	Ready bool
+}
+
+func (r *replicaRequest) setSeq(n uint64) { r.Seq = n }
+func (r *replicaResponse) seq() uint64    { return r.Seq }
+
+// seqGuard validates one decoded request's sequence number against the
+// connection's counter. Requests must arrive exactly in order: a gap or
+// repeat means the stream desynchronized — most likely a duplicated
+// frame — and the only safe move is to drop the connection before the
+// duplicate executes anything.
+type seqGuard struct{ last uint64 }
+
+func (g *seqGuard) ok(seq uint64) bool {
+	if seq != g.last+1 {
+		return false
+	}
+	g.last = seq
+	return true
 }
 
 func errCode(err error) string {
@@ -52,6 +81,8 @@ func errCode(err error) string {
 		return "conflict"
 	case errors.Is(err, replica.ErrCrashed):
 		return "crashed"
+	case errors.Is(err, ErrUnavailable), errors.Is(err, lb.ErrNoReplicas):
+		return "unavailable"
 	default:
 		return "other"
 	}
@@ -66,6 +97,8 @@ func decodeErr(resp *replicaResponse) error {
 		return fmt.Errorf("%w: %s", replica.ErrCertifyConflict, resp.Err)
 	case "crashed":
 		return fmt.Errorf("%w: %s", replica.ErrCrashed, resp.Err)
+	case "unavailable":
+		return fmt.Errorf("%w: %s", ErrUnavailable, resp.Err)
 	default:
 		return errors.New(resp.Err)
 	}
@@ -73,10 +106,13 @@ func decodeErr(resp *replicaResponse) error {
 
 // ReplicaServer exposes one replica's transaction API on a listener.
 type ReplicaServer struct {
-	rep *replica.Replica
-	ln  net.Listener
+	rep  *replica.Replica
+	ln   net.Listener
+	opts options
 
 	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
 	txns    map[uint64]*replica.Txn
 	next    uint64
 	stmts   map[string]*sql.Prepared
@@ -96,7 +132,7 @@ func (s *ReplicaServer) EnableObs(reg *obs.Registry) {
 }
 
 // ServeReplica starts serving rep on addr.
-func ServeReplica(rep *replica.Replica, addr string) (*ReplicaServer, error) {
+func ServeReplica(rep *replica.Replica, addr string, opts ...Option) (*ReplicaServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
@@ -104,6 +140,8 @@ func ServeReplica(rep *replica.Replica, addr string) (*ReplicaServer, error) {
 	s := &ReplicaServer{
 		rep:   rep,
 		ln:    ln,
+		opts:  buildOptions(opts),
+		conns: make(map[net.Conn]struct{}),
 		txns:  make(map[uint64]*replica.Txn),
 		stmts: make(map[string]*sql.Prepared),
 	}
@@ -114,8 +152,21 @@ func ServeReplica(rep *replica.Replica, addr string) (*ReplicaServer, error) {
 // Addr returns the bound address.
 func (s *ReplicaServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener.
-func (s *ReplicaServer) Close() error { return s.ln.Close() }
+// Close stops the listener and severs live connections.
+func (s *ReplicaServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
 
 func (s *ReplicaServer) acceptLoop() {
 	for {
@@ -160,14 +211,38 @@ func (s *ReplicaServer) dropTxn(id uint64) {
 
 func (s *ReplicaServer) handle(c net.Conn) {
 	defer c.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
 	dec := gob.NewDecoder(c)
 	enc := gob.NewEncoder(c)
+	var guard seqGuard
 	for {
+		if d := s.opts.to.Idle; d > 0 {
+			c.SetReadDeadline(time.Now().Add(d))
+		}
 		var req replicaRequest
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		if !guard.ok(req.Seq) {
+			return
+		}
+		c.SetReadDeadline(time.Time{})
 		resp := s.dispatch(&req)
+		resp.Seq = req.Seq
+		if d := s.opts.to.Call; d > 0 {
+			c.SetWriteDeadline(time.Now().Add(d))
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -187,6 +262,11 @@ func (s *ReplicaServer) dispatch(req *replicaRequest) *replicaResponse {
 	}
 	switch req.Op {
 	case "begin":
+		if g := s.opts.gate; g != nil {
+			if err := g(); err != nil {
+				return fail(err)
+			}
+		}
 		tx, err := s.rep.Begin(req.MinVersion, metrics.NewTxnTimer())
 		if err != nil {
 			return fail(err)
@@ -221,12 +301,14 @@ func (s *ReplicaServer) dispatch(req *replicaRequest) *replicaResponse {
 			return fail(replica.ErrTxnDone)
 		}
 		s.dropTxn(req.TxnID)
+		touched := tx.Touched()
 		cres, err := tx.Commit(req.Eager)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Commit = cres
 		resp.Snapshot = tx.Snapshot()
+		resp.Touched = touched
 	case "abort":
 		if tx, ok := s.getTxn(req.TxnID); ok {
 			s.dropTxn(req.TxnID)
@@ -236,6 +318,10 @@ func (s *ReplicaServer) dispatch(req *replicaRequest) *replicaResponse {
 		resp.Version = s.rep.Version()
 		resp.Active = s.rep.Active()
 		resp.Crashed = s.rep.Crashed()
+		resp.Ready = true
+		if g := s.opts.gate; g != nil && g() != nil {
+			resp.Ready = false
+		}
 	default:
 		return fail(fmt.Errorf("wire: unknown replica op %q", req.Op))
 	}
@@ -253,8 +339,8 @@ type remoteReplica struct {
 	healthy atomic.Bool
 }
 
-func newRemoteReplica(id int, addr string) *remoteReplica {
-	r := &remoteReplica{id: id, pool: newConnPool(addr, nil)}
+func newRemoteReplica(id int, addr string, o *options) *remoteReplica {
+	r := &remoteReplica{id: id, pool: newConnPool(addr, nil, o.dialer(addr), o.to)}
 	r.healthy.Store(true)
 	return r
 }
@@ -274,19 +360,20 @@ func (r *remoteReplica) call(req *replicaRequest) (*replicaResponse, error) {
 		r.healthy.Store(false)
 		return nil, err
 	}
-	if resp.ErrCode == "crashed" {
+	if resp.ErrCode == "crashed" || resp.ErrCode == "unavailable" {
 		r.healthy.Store(false)
 	}
 	return &resp, decodeErr(&resp)
 }
 
 // probe refreshes the health flag; the gateway calls it periodically
-// so crashed replicas rejoin the routing set after recovery.
+// so crashed or gated replicas rejoin the routing set once they
+// recover or catch up.
 func (r *remoteReplica) probe() {
 	var resp replicaResponse
 	if err := r.pool.call(&replicaRequest{Op: "status"}, &resp); err != nil {
 		r.healthy.Store(false)
 		return
 	}
-	r.healthy.Store(!resp.Crashed)
+	r.healthy.Store(!resp.Crashed && resp.Ready)
 }

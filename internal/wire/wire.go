@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"sconrep/internal/certifier"
 	"sconrep/internal/writeset"
@@ -42,10 +43,13 @@ func init() {
 // Call takes a connection for a full request/response exchange.
 type connPool struct {
 	addr string
+	dial Dialer
+	to   Timeouts
 	mu   sync.Mutex
 	free []*rpcConn
 	// hello is sent once on every new connection to select the peer's
-	// handler.
+	// handler. A func() any is invoked per connection, for hellos that
+	// carry live state (the certifier client's Vlocal).
 	hello any
 }
 
@@ -53,10 +57,27 @@ type rpcConn struct {
 	c   net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	// pooled marks connections reused from the free list: a send
+	// failure on one usually means the server idled it out, so the call
+	// is retried once on a fresh dial.
+	pooled bool
+	// seq numbers the exchanges on this connection. A response whose
+	// echoed sequence number does not match the request's means the
+	// byte stream desynchronized (e.g. a duplicated frame); the
+	// connection is unusable and is torn down.
+	seq uint64
 }
 
-func newConnPool(addr string, hello any) *connPool {
-	return &connPool{addr: addr, hello: hello}
+// seqReq / seqResp are implemented by request/response frame types that
+// carry a per-connection sequence number.
+type seqReq interface{ setSeq(uint64) }
+type seqResp interface{ seq() uint64 }
+
+func newConnPool(addr string, hello any, dial Dialer, to Timeouts) *connPool {
+	if dial == nil {
+		dial = net.Dial
+	}
+	return &connPool{addr: addr, hello: hello, dial: dial, to: to}
 }
 
 func (p *connPool) get() (*rpcConn, error) {
@@ -65,16 +86,24 @@ func (p *connPool) get() (*rpcConn, error) {
 		rc := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
+		rc.pooled = true
 		return rc, nil
 	}
 	p.mu.Unlock()
-	c, err := net.Dial("tcp", p.addr)
+	c, err := p.dial("tcp", p.addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", p.addr, err)
 	}
 	rc := &rpcConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 	if p.hello != nil {
-		if err := rc.enc.Encode(p.hello); err != nil {
+		h := p.hello
+		if fn, ok := h.(func() any); ok {
+			h = fn()
+		}
+		if d := p.to.Call; d > 0 {
+			c.SetWriteDeadline(time.Now().Add(d))
+		}
+		if err := rc.enc.Encode(h); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("wire: hello to %s: %w", p.addr, err)
 		}
@@ -91,20 +120,51 @@ func (p *connPool) put(rc *rpcConn) {
 // call performs one request/response exchange; on any error the
 // connection is discarded.
 func (p *connPool) call(req, resp any) error {
-	rc, err := p.get()
-	if err != nil {
-		return err
+	return p.callDeadline(req, resp, p.to.Call)
+}
+
+// callDeadline is call with an explicit exchange deadline (zero means
+// none). If the request fails to send on a pooled connection — the
+// server likely reaped it while idle — the exchange is retried once on
+// a fresh connection; a send that reached the wire is never retried
+// here, so retry-safety decisions stay with the callers.
+func (p *connPool) callDeadline(req, resp any, d time.Duration) error {
+	for {
+		rc, err := p.get()
+		if err != nil {
+			return err
+		}
+		rc.seq++
+		if sr, ok := req.(seqReq); ok {
+			sr.setSeq(rc.seq)
+		}
+		if d > 0 {
+			rc.c.SetWriteDeadline(time.Now().Add(d))
+		}
+		if err := rc.enc.Encode(req); err != nil {
+			rc.c.Close()
+			if rc.pooled {
+				continue
+			}
+			return fmt.Errorf("wire: send to %s: %w", p.addr, err)
+		}
+		if d > 0 {
+			rc.c.SetReadDeadline(time.Now().Add(d))
+		}
+		if err := rc.dec.Decode(resp); err != nil {
+			rc.c.Close()
+			return fmt.Errorf("wire: recv from %s: %w", p.addr, err)
+		}
+		if sr, ok := resp.(seqResp); ok && sr.seq() != rc.seq {
+			rc.c.Close()
+			return fmt.Errorf("wire: response out of sequence from %s (got %d, want %d)", p.addr, sr.seq(), rc.seq)
+		}
+		if d > 0 {
+			rc.c.SetDeadline(time.Time{})
+		}
+		p.put(rc)
+		return nil
 	}
-	if err := rc.enc.Encode(req); err != nil {
-		rc.c.Close()
-		return fmt.Errorf("wire: send to %s: %w", p.addr, err)
-	}
-	if err := rc.dec.Decode(resp); err != nil {
-		rc.c.Close()
-		return fmt.Errorf("wire: recv from %s: %w", p.addr, err)
-	}
-	p.put(rc)
-	return nil
 }
 
 // close drops all pooled connections.

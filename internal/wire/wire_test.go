@@ -344,7 +344,7 @@ func TestDistributedReplicaCrashFailover(t *testing.T) {
 
 func TestStatusAndStmtCache(t *testing.T) {
 	d := newDeployment(t, 1, core.Coarse)
-	rr := newRemoteReplica(0, d.repSrvs[0].Addr())
+	rr := newRemoteReplica(0, d.repSrvs[0].Addr(), &options{})
 	resp, err := rr.call(&replicaRequest{Op: "status"})
 	if err != nil {
 		t.Fatal(err)
