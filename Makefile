@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos bench sweep examples clean
+.PHONY: all build test race vet ci chaos bench bench-hotpath sweep examples clean
 
 all: build test
 
@@ -40,6 +40,21 @@ chaos:
 # micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path benchmarks: group-applied refresh batches vs the seed's
+# per-writeset path, the 100k-entry History lookup, and refresh
+# streaming over a real TCP link. Results land in BENCH_hotpath.json
+# (committed, so before/after numbers travel with the code). Override
+# BENCHTIME for quicker smoke runs (CI uses 100ms).
+BENCHTIME ?= 1s
+HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkHistoryLookup|BenchmarkWireRefreshStream
+bench-hotpath:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem -benchtime $(BENCHTIME) \
+		./internal/replica/ ./internal/certifier/ ./internal/wire/ \
+		| tee bench_output.txt
+	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_hotpath.json
+	@rm -f bench_output.txt
+	@echo "wrote BENCH_hotpath.json"
 
 # Full evaluation sweep (regenerates every figure; ~15 minutes).
 sweep:

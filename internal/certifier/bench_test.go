@@ -1,0 +1,66 @@
+package certifier
+
+import (
+	"fmt"
+	"testing"
+
+	"sconrep/internal/wal"
+	"sconrep/internal/writeset"
+)
+
+// benchHistory builds a certifier holding n history entries by
+// replaying a synthetic decision log — the cheap way to a 100k-entry
+// history without 100k full certifications.
+func benchHistory(b *testing.B, n uint64) *Certifier {
+	b.Helper()
+	c := New()
+	err := c.RestoreFromWAL(func(fn func(*wal.Record) error) error {
+		for v := uint64(1); v <= n; v++ {
+			rec := &wal.Record{Version: v, TxnID: v, WriteSet: writeset.WriteSet{
+				Items: []writeset.Item{{Table: "t", Key: fmt.Sprintf("k%d", v%512), Op: writeset.OpUpdate, Row: []any{"x"}}},
+			}}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkHistoryLookup measures History(after) against a 100k-entry
+// history. The common catch-up calls land near the tail (a replica is
+// rarely more than a burst behind) or miss entirely (steady-state
+// probes); with the binary-searched cut both are logarithmic in the
+// history length instead of a full scan.
+func BenchmarkHistoryLookup(b *testing.B) {
+	const n = 100_000
+	c := benchHistory(b, n)
+	b.Run("tail", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if h := c.History(n - 8); len(h) != 8 {
+				b.Fatalf("History(tail) = %d entries", len(h))
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if h := c.History(n); h != nil {
+				b.Fatalf("History(miss) = %d entries", len(h))
+			}
+		}
+	})
+	b.Run("mid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if h := c.History(n / 2); len(h) != n/2 {
+				b.Fatalf("History(mid) = %d entries", len(h))
+			}
+		}
+	})
+}

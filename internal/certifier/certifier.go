@@ -12,6 +12,7 @@ package certifier
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -399,16 +400,23 @@ func (c *Certifier) GlobalCommitted(v uint64) <-chan struct{} {
 }
 
 // History returns the refresh stream with versions in (after, through],
-// for a recovering replica to catch up from its durable state.
+// for a recovering replica to catch up from its durable state. The
+// history is version-ordered by construction (entries are appended
+// under c.mu with a strictly increasing version counter, and WAL
+// replay enforces contiguity), so the cut point is found by binary
+// search — O(log n) instead of scanning the whole retained history on
+// every recovery and every wire-level resubscribe.
 func (c *Certifier) History(after uint64) []Refresh {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var out []Refresh
-	for i := range c.history {
+	i := sort.Search(len(c.history), func(i int) bool { return c.history[i].version > after })
+	if i == len(c.history) {
+		return nil
+	}
+	out := make([]Refresh, 0, len(c.history)-i)
+	for ; i < len(c.history); i++ {
 		h := &c.history[i]
-		if h.version > after {
-			out = append(out, Refresh{TxnID: h.txnID, Version: h.version, Origin: -1, WS: h.ws})
-		}
+		out = append(out, Refresh{TxnID: h.txnID, Version: h.version, Origin: -1, WS: h.ws})
 	}
 	return out
 }

@@ -89,13 +89,21 @@ type Tracker struct {
 	vsystem  uint64
 	tables   map[string]uint64
 	sessions map[string]uint64
+	// sessTables holds per-session *per-table* floors: the newest write
+	// to each table the session can have observed, as reported by the
+	// replicas with each commit. The fine-grained mode synchronizes on
+	// these instead of the scalar session floor — a session that read a
+	// hot table at a fresh snapshot must not regress on THAT table, but
+	// owes nothing to a cold table it merely shared a snapshot with.
+	sessTables map[string]map[string]uint64
 }
 
 // NewTracker returns a tracker at version 0 with no known tables.
 func NewTracker() *Tracker {
 	return &Tracker{
-		tables:   make(map[string]uint64),
-		sessions: make(map[string]uint64),
+		tables:     make(map[string]uint64),
+		sessions:   make(map[string]uint64),
+		sessTables: make(map[string]map[string]uint64),
 	}
 }
 
@@ -136,6 +144,27 @@ func (t *Tracker) ObserveReadOnly(snapshot uint64, session string) {
 	}
 }
 
+// ObserveTableVersions folds a commit response's per-table observation
+// bounds into the session's fine-grained floors (see Tracker.sessTables
+// and MinStartVersion's Fine case).
+func (t *Tracker) ObserveTableVersions(session string, tableVersions map[string]uint64) {
+	if session == "" || len(tableVersions) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	floors := t.sessTables[session]
+	if floors == nil {
+		floors = make(map[string]uint64, len(tableVersions))
+		t.sessTables[session] = floors
+	}
+	for tab, v := range tableVersions {
+		if v > floors[tab] {
+			floors[tab] = v
+		}
+	}
+}
+
 // VSystem returns the current system version.
 func (t *Tracker) VSystem() uint64 {
 	t.mu.Lock()
@@ -162,20 +191,33 @@ func (t *Tracker) SessionVersion(session string) uint64 {
 //
 //	Eager   → 0            (replicas are always current for acked txns)
 //	Coarse  → max(Vsystem, Vsession)
-//	Fine    → max(max{Vt : t ∈ tableSet}, Vsession)
+//	Fine    → max{max(Vt, Vsession,t) : t ∈ tableSet}
 //	Session → Vsession
 //
 // For Fine, a table never written since system start has Vt = 0, so a
 // transaction over read-only tables starts immediately — the behaviour
 // §III-C highlights.
 //
-// The lazy strong modes take the maximum with the session floor so
-// they are never weaker than session consistency on any axis: a
-// session that read a snapshot *fresher* than Vsystem (its replica had
-// applied a not-yet-acknowledged commit) must not regress on its next
+// Coarse takes the maximum with the scalar session floor so it is
+// never weaker than session consistency: a session that read a
+// snapshot *fresher* than Vsystem (its replica had applied a
+// not-yet-acknowledged commit) must not regress on its next
 // transaction. Strong consistency alone does not forbid that — the
 // fresher commit was unacknowledged — but monotonic session reads do,
-// and SC provides them, so CSC/FSC must too.
+// and SC provides them, so CSC must too.
+//
+// Fine enforces the same guarantee at table granularity (Vsession,t:
+// the newest write to table t the session can have observed, fed back
+// by the replicas with each commit). A scalar floor would be wrong
+// here, not merely loose: every read-only commit would teach the
+// session its snapshot version, and the next transaction — even one
+// over tables nobody ever writes — would wait out the full replication
+// lag to reach a version whose extra content it cannot observe. That
+// erases exactly the benefit §III-C claims for skewed workloads. The
+// per-table floors keep everything a client can actually see
+// monotonic: reads of a table never run below any write to it the
+// session has observed, and a session's own writes (floored at their
+// commit versions) stay visible.
 func (t *Tracker) MinStartVersion(mode Mode, tableSet []string, session string) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -186,10 +228,14 @@ func (t *Tracker) MinStartVersion(mode Mode, tableSet []string, session string) 
 	case Coarse:
 		return maxU64(t.vsystem, floor)
 	case Fine:
-		v := floor
+		var v uint64
+		sess := t.sessTables[session]
 		for _, tab := range tableSet {
 			if tv := t.tables[tab]; tv > v {
 				v = tv
+			}
+			if sv := sess[tab]; sv > v {
+				v = sv
 			}
 		}
 		return v
@@ -214,6 +260,7 @@ func (t *Tracker) ForgetSession(session string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.sessions, session)
+	delete(t.sessTables, session)
 }
 
 // Snapshot returns a copy of all table versions, for inspection.

@@ -123,6 +123,43 @@ func TestObserveReadOnlyAdvancesSessionMonotonically(t *testing.T) {
 	tr.ObserveReadOnly(1, "") // no session: no-op, must not panic
 }
 
+// TestFinePerTableSessionFloor pins the fine-grained session rule: the
+// session floor is per table, so a read-only commit at a fresh
+// snapshot must not make the session's next transaction on a cold
+// table wait — the §III-C benefit the scalar floor would erase — while
+// tables the session actually observed writes to stay floored.
+func TestFinePerTableSessionFloor(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveCommit(100, []string{"hot"}, "s")
+	tr.ObserveTableVersions("s", map[string]uint64{"hot": 100})
+	// A read on a busy replica observed snapshot 500; the scalar floor
+	// advances (coarse/session semantics) but must not leak into fine.
+	tr.ObserveReadOnly(500, "s")
+	if got := tr.MinStartVersion(Fine, []string{"cold"}, "s"); got != 0 {
+		t.Fatalf("fine(cold) = %d, want 0: scalar session floor leaked into the per-table rule", got)
+	}
+	if got := tr.MinStartVersion(Fine, []string{"hot"}, "s"); got != 100 {
+		t.Fatalf("fine(hot) = %d, want 100", got)
+	}
+	if got := tr.MinStartVersion(Coarse, nil, "s"); got != 500 {
+		t.Fatalf("coarse = %d, want 500 (scalar floor intact)", got)
+	}
+	// The replica reported the newest write to "cold" this session
+	// could have observed: subsequent reads of it must not regress.
+	tr.ObserveTableVersions("s", map[string]uint64{"cold": 42})
+	if got := tr.MinStartVersion(Fine, []string{"cold"}, "s"); got != 42 {
+		t.Fatalf("fine(cold) after observation = %d, want 42", got)
+	}
+	// Another session owes nothing to s's observations.
+	if got := tr.MinStartVersion(Fine, []string{"cold"}, "other"); got != 0 {
+		t.Fatalf("fine(cold) for fresh session = %d, want 0", got)
+	}
+	tr.ForgetSession("s")
+	if got := tr.MinStartVersion(Fine, []string{"cold"}, "s"); got != 0 {
+		t.Fatalf("fine(cold) after ForgetSession = %d, want 0", got)
+	}
+}
+
 func TestOutOfOrderObservations(t *testing.T) {
 	tr := NewTracker()
 	tr.ObserveCommit(5, []string{"x"}, "s")
@@ -172,7 +209,8 @@ func TestRegistry(t *testing.T) {
 //  2. Vt ≤ Vsystem for every table.
 //  3. Fine start version ≤ Coarse start version (Theorem 2's benefit).
 //  4. Session start version ≤ Coarse start version.
-//  5. MinStartVersion(Fine, S) = max over tables in S of Vt.
+//  5. MinStartVersion(Fine, S) = max over tables in S of
+//     max(Vt, the session's per-table floor).
 func TestQuickInvariants(t *testing.T) {
 	type obs struct {
 		Version uint64
@@ -182,13 +220,31 @@ func TestQuickInvariants(t *testing.T) {
 	f := func(observations []obs, probe []uint8, sess uint8) bool {
 		tr := NewTracker()
 		var maxV uint64
+		// Mirror of the per-session per-table floors the tracker should
+		// accumulate from the commit responses.
+		floors := map[string]map[string]uint64{}
 		for _, o := range observations {
 			v := o.Version % 1000
 			var tabs []string
+			tv := map[string]uint64{}
 			for _, tb := range o.Tables {
-				tabs = append(tabs, string(rune('a'+tb%6)))
+				tab := string(rune('a' + tb%6))
+				tabs = append(tabs, tab)
+				tv[tab] = v
 			}
-			tr.ObserveCommit(v, tabs, string(rune('A'+o.Session%4)))
+			session := string(rune('A' + o.Session%4))
+			tr.ObserveCommit(v, tabs, session)
+			tr.ObserveTableVersions(session, tv)
+			m := floors[session]
+			if m == nil {
+				m = map[string]uint64{}
+				floors[session] = m
+			}
+			for tab, fv := range tv {
+				if fv > m[tab] {
+					m[tab] = fv
+				}
+			}
 			if v > maxV {
 				maxV = v
 			}
@@ -207,9 +263,12 @@ func TestQuickInvariants(t *testing.T) {
 		if fine > coarse || sessionV > coarse {
 			return false
 		}
-		wantFine := tr.SessionVersion(session)
+		var wantFine uint64
 		for _, tb := range probeSet {
 			if v := tr.TableVersion(tb); v > wantFine {
+				wantFine = v
+			}
+			if v := floors[session][tb]; v > wantFine {
 				wantFine = v
 			}
 			if tr.TableVersion(tb) > tr.VSystem() {

@@ -200,6 +200,7 @@ func (l *LoadBalancer) DispatchTables(sessionID string, tables []string) (Route,
 // session monotonic; for updates Vsystem, the written tables' Vt, and
 // the session version all advance.
 func (l *LoadBalancer) ObserveCommit(sessionID string, res replica.CommitResult) {
+	l.tracker.ObserveTableVersions(sessionID, res.TableVersions)
 	if res.ReadOnly {
 		l.tracker.ObserveReadOnly(res.Version, sessionID)
 		return

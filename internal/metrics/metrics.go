@@ -132,6 +132,13 @@ type Collector struct {
 	stageTotals [numStages]time.Duration
 	respTimes   durationHist
 	syncDelays  durationHist
+	// readSyncDelays tracks the sync delay of read-only transactions
+	// separately: on skewed workloads it isolates the fine-grained
+	// mode's benefit from closed-loop load feedback (readers that do
+	// not wait speed the whole loop up, which deepens the apply backlog
+	// and inflates the update transactions' waits — the all-transaction
+	// mean then no longer separates the modes).
+	readSyncDelays durationHist
 }
 
 // NewCollector returns a collector that starts recording immediately.
@@ -151,6 +158,7 @@ func (c *Collector) Reset() {
 	c.stageTotals = [numStages]time.Duration{}
 	c.respTimes = durationHist{}
 	c.syncDelays = durationHist{}
+	c.readSyncDelays = durationHist{}
 }
 
 // RecordCommit records one committed transaction with its timer.
@@ -168,6 +176,7 @@ func (c *Collector) RecordCommit(t *TxnTimer, update bool, response, syncDelay t
 		c.updates++
 	} else {
 		c.readOnly++
+		c.readSyncDelays.add(syncDelay)
 	}
 	for i := Stage(0); i < numStages; i++ {
 		c.stageTotals[i] += t.stages[i]
@@ -197,6 +206,9 @@ type Snapshot struct {
 	MeanResponse time.Duration
 	P95Response  time.Duration
 	MeanSync     time.Duration
+	// MeanReadSync is the mean sync delay over read-only transactions
+	// only (zero when none committed).
+	MeanReadSync time.Duration
 	// StageMeans averages each stage over all committed transactions;
 	// stages that only occur on update transactions (certify, sync,
 	// global) are averaged over the whole mix, matching the paper's
@@ -229,6 +241,7 @@ func (c *Collector) Snapshot() Snapshot {
 		s.MeanResponse = c.respTimes.mean()
 		s.P95Response = c.respTimes.percentile(0.95)
 		s.MeanSync = c.syncDelays.mean()
+		s.MeanReadSync = c.readSyncDelays.mean()
 	}
 	return s
 }
@@ -268,6 +281,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		MeanResponseUs int64            `json:"mean_response_us"`
 		P95ResponseUs  int64            `json:"p95_response_us"`
 		MeanSyncUs     int64            `json:"mean_sync_us"`
+		MeanReadSyncUs int64            `json:"mean_read_sync_us"`
 		StageMeansUs   map[string]int64 `json:"stage_means_us"`
 	}{
 		ElapsedUs:      s.Elapsed.Microseconds(),
@@ -280,6 +294,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		MeanResponseUs: s.MeanResponse.Microseconds(),
 		P95ResponseUs:  s.P95Response.Microseconds(),
 		MeanSyncUs:     s.MeanSync.Microseconds(),
+		MeanReadSyncUs: s.MeanReadSync.Microseconds(),
 		StageMeansUs:   stages,
 	})
 }

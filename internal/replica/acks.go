@@ -1,0 +1,70 @@
+package replica
+
+import "sync"
+
+// ackBox coalesces the drainer's apply acknowledgments into the
+// highest pending version for the per-replica notifier goroutine to
+// ship. The certifier treats acks as cumulative (replicas apply in
+// strict version order), so collapsing a backlog of acks into one is
+// sound — and the drainer's hot path is reduced to a mutex-protected
+// max and a non-blocking wakeup: no goroutine spawn, no allocation.
+type ackBox struct {
+	mu      sync.Mutex
+	max     uint64 // highest version posted
+	sent    uint64 // highest version handed to the notifier
+	stopped bool
+	wake    chan struct{} // 1-buffered wakeup
+}
+
+func newAckBox() *ackBox {
+	return &ackBox{wake: make(chan struct{}, 1)}
+}
+
+// post registers version v for acknowledgment. Posts at or below the
+// pending maximum are no-ops; posts after stop are dropped (the
+// certifier stops waiting for a crashed replica on Unsubscribe).
+func (a *ackBox) post(v uint64) {
+	a.mu.Lock()
+	if a.stopped || v <= a.max {
+		a.mu.Unlock()
+		return
+	}
+	a.max = v
+	a.mu.Unlock()
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
+}
+
+// next blocks until a version above the last handed-out one is
+// pending and returns it; ok is false once the box is stopped and
+// drained.
+func (a *ackBox) next() (v uint64, ok bool) {
+	for {
+		a.mu.Lock()
+		if a.max > a.sent {
+			a.sent = a.max
+			v = a.sent
+			a.mu.Unlock()
+			return v, true
+		}
+		if a.stopped {
+			a.mu.Unlock()
+			return 0, false
+		}
+		a.mu.Unlock()
+		<-a.wake
+	}
+}
+
+// stop wakes and retires the notifier; subsequent posts are dropped.
+func (a *ackBox) stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.mu.Unlock()
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
+}

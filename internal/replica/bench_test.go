@@ -1,0 +1,100 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/storage"
+	"sconrep/internal/writeset"
+)
+
+// benchBacklog is the refresh backlog each measured drain works
+// through — the acceptance scenario for the group-apply hot path.
+const benchBacklog = 64
+
+func benchEngine(b *testing.B) *storage.Engine {
+	b.Helper()
+	eng := storage.NewEngine()
+	err := eng.CreateTable(&storage.Schema{
+		Table:   "kv",
+		Columns: []storage.Column{{Name: "k", Type: storage.TInt}, {Name: "v", Type: storage.TString}},
+		Key:     []string{"k"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := eng.Begin()
+	for k := int64(0); k < 10; k++ {
+		if err := tx.Insert("kv", []any{k, "init"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := tx.CommitLocal(); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkRefreshApply drains a 64-refresh backlog per iteration, in
+// the group-apply configuration and in the seed's per-writeset one
+// (one engine critical section, one broadcast, and one ack goroutine
+// per refresh). No latency model is attached: the numbers are the pure
+// hot-path cost, which is what the batching work set out to cut.
+func BenchmarkRefreshApply(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		per  bool
+	}{
+		{"batched", false},
+		{"perwriteset", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := benchEngine(b)
+			fake := newFakeCert()
+			r := New(Config{ID: 0}, eng, fake)
+			defer r.Crash()
+			r.mu.Lock()
+			r.benchPerWriteset = mode.per
+			r.mu.Unlock()
+
+			// Writesets are prebuilt and reused; only the Refresh envelope
+			// (version, txn id) changes per iteration. The engine copies
+			// rows on apply, so sharing is safe.
+			wss := make([]*writeset.WriteSet, benchBacklog)
+			schema, ok := eng.Schema("kv")
+			if !ok {
+				b.Fatal("kv schema missing")
+			}
+			for i := range wss {
+				row := []any{int64(i % 10), fmt.Sprintf("w%d", i)}
+				key, err := schema.KeyOf(row)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wss[i] = &writeset.WriteSet{Items: []writeset.Item{
+					{Table: "kv", Key: key, Op: writeset.OpUpdate, Row: row},
+				}}
+			}
+			refs := make([]certifier.Refresh, benchBacklog)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			v := eng.Version()
+			for i := 0; i < b.N; i++ {
+				for j := range refs {
+					v++
+					refs[j] = certifier.Refresh{TxnID: v, Version: v, Origin: -1, WS: wss[j]}
+				}
+				fake.queue.push(refs...)
+				r.mu.Lock()
+				for eng.Version() < v {
+					r.cond.Wait()
+				}
+				r.mu.Unlock()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*benchBacklog/b.Elapsed().Seconds(), "refreshes/s")
+		})
+	}
+}

@@ -81,7 +81,7 @@ func (r *Replica) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
 func (r *Replica) RefreshQueueDepth() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := len(r.reorder)
+	n := len(r.reorder) + len(r.applying)
 	if r.sub != nil && !r.crashed {
 		n += r.sub.QueueLen()
 	}

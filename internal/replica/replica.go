@@ -110,6 +110,14 @@ type Config struct {
 	// eager mode's slowest-replica wait amplifies and the lazy modes'
 	// least-loaded routing sidesteps.
 	DBSlots int
+	// MaxApplyBatch bounds one group-applied refresh batch (default 8).
+	// Larger batches amortize the apply cost further, but only the tail
+	// version of a batch is published, so a transaction waiting for a
+	// mid-batch version waits for the whole batch; an unbounded batch
+	// on a deep backlog would erase the fine-grained mode's start-delay
+	// advantage over the coarse one. Same trade-off, and same fix, as
+	// bounding a group commit.
+	MaxApplyBatch int
 }
 
 // Replica is one proxy + DBMS pair.
@@ -123,12 +131,24 @@ type Replica struct {
 	cond    *sync.Cond
 	sub     RefreshSource
 	reorder map[uint64]certifier.Refresh
+	// applying is the batch the drainer is currently group-applying.
+	// Entries leave the reorder buffer before they reach the engine, so
+	// statement-side early certification must scan this window too or a
+	// write racing the apply would miss a certain conflict.
+	applying []certifier.Refresh
 	// committing marks versions owned by in-flight local commits so
 	// the applier does not wait for a refresh that will never arrive.
 	committing map[uint64]bool
 	actives    map[uint64]*Txn
 	crashed    bool
 	applierGen int
+	// acks coalesces apply acknowledgments for the notifier goroutine;
+	// replaced on every attach.
+	acks *ackBox
+	// benchPerWriteset restores the pre-batching hot path (one slot
+	// acquisition, engine commit, ack goroutine, and broadcast per
+	// refresh). Benchmark baseline only — see BenchmarkRefreshApply.
+	benchPerWriteset bool
 	// minServe is the recovery catch-up floor: the highest version the
 	// certifier had assigned when this replica last recovered. Commits
 	// up to it may already be acknowledged to clients, so transactions
@@ -152,6 +172,9 @@ type Replica struct {
 func New(cfg Config, eng *storage.Engine, cert CertService) *Replica {
 	if cfg.DBSlots <= 0 {
 		cfg.DBSlots = 2
+	}
+	if cfg.MaxApplyBatch <= 0 {
+		cfg.MaxApplyBatch = 8
 	}
 	r := &Replica{
 		cfg:        cfg,
@@ -202,9 +225,32 @@ func (r *Replica) attach() {
 	r.applierGen++
 	gen := r.applierGen
 	sub := r.sub
+	r.acks = newAckBox()
+	acks := r.acks
 	r.mu.Unlock()
 	go r.applier(sub, gen)
 	go r.drainer(gen)
+	go r.notifier(acks)
+}
+
+// notifier ships apply acknowledgments to the certifier, coalesced to
+// the highest applied version (the certifier's accounting is
+// cumulative). One goroutine per attachment: a 1000-refresh catch-up
+// posts to the box 1000 times but spawns nothing and sends only as
+// many acks as the network hop can drain.
+func (r *Replica) notifier(acks *ackBox) {
+	for {
+		v, ok := acks.next()
+		if !ok {
+			return
+		}
+		// The commit notification (eager accounting, §IV-D) travels one
+		// network hop; it runs here so it never stalls the drainer.
+		if r.lat != nil {
+			r.lat.NetworkHop()
+		}
+		r.cert.Applied(r.cfg.ID, v)
+	}
 }
 
 // applier receives refresh batches from the certifier, performs the
@@ -263,51 +309,108 @@ func (r *Replica) abortConflictingActivesLocked(ws *writeset.WriteSet) {
 	}
 }
 
-// applyReadyLocked applies reorder-buffer entries contiguous with
-// Vlocal and reports whether it applied anything. It temporarily
-// releases r.mu around the (slow) apply itself so statements on other
-// transactions proceed concurrently; the entry is removed from the
-// buffer under the lock, so concurrent callers never double-apply.
+// applyReadyLocked group-applies reorder-buffer entries contiguous
+// with Vlocal and reports whether it applied anything. Each round
+// coalesces the longest run of queued refreshes — stopping at a
+// version owned by an in-flight local commit, and bounded by
+// Config.MaxApplyBatch — into ONE batch applied
+// under a single DBMS slot and a single engine critical section, with
+// one amortized latency charge, one coalesced apply acknowledgment,
+// and one broadcast. Only the batch's tail version is published, so
+// no intermediate version is observable before its predecessors and
+// Vlocal stays monotonic.
+//
+// r.mu is temporarily released around the (slow) apply itself so
+// statements on other transactions proceed concurrently; entries are
+// removed from the reorder buffer under the lock (and parked in
+// r.applying for early certification), so concurrent callers never
+// double-apply.
 func (r *Replica) applyReadyLocked() bool {
 	progress := false
 	for {
-		next := r.eng.Version() + 1
-		if r.committing[next] {
-			return progress // a local commit owns this version
-		}
-		ref, ok := r.reorder[next]
-		if !ok {
+		// At most one batch may be inside the engine at a time. Without
+		// this guard a recovery backfill could start applying while the
+		// previous generation's drainer still has a batch in flight
+		// (Crash does not wait for it), and the loser of that race would
+		// see ErrBadVersion — a double apply. The in-flight batch
+		// broadcasts when it completes, re-waking this caller.
+		if len(r.applying) > 0 {
 			return progress
 		}
-		delete(r.reorder, next)
+		start := r.eng.Version() + 1
+		// Drop entries a completed batch has already covered: a refresh
+		// or a history backfill admitted against a pre-apply Vlocal can
+		// land below the published tail and would otherwise pin its
+		// writeset in the reorder buffer forever.
+		for v := range r.reorder {
+			if v < start {
+				delete(r.reorder, v)
+			}
+		}
+		var batch []certifier.Refresh
+		for v := start; ; v++ {
+			if r.committing[v] {
+				break // a local commit owns this version
+			}
+			ref, ok := r.reorder[v]
+			if !ok {
+				break
+			}
+			delete(r.reorder, v)
+			batch = append(batch, ref)
+			if r.benchPerWriteset {
+				break // baseline: one writeset per slot cycle
+			}
+			if len(batch) >= r.cfg.MaxApplyBatch {
+				break // bounded group: see Config.MaxApplyBatch
+			}
+		}
+		if len(batch) == 0 {
+			return progress
+		}
+		wss := make([]*writeset.WriteSet, len(batch))
+		for i := range batch {
+			wss[i] = batch[i].WS
+		}
+		last := batch[len(batch)-1].Version
+		r.applying = batch
 		r.mu.Unlock()
 		var err error
 		r.withSlot(func() {
 			if r.lat != nil {
-				r.lat.ApplyWriteSet()
+				if r.benchPerWriteset {
+					r.lat.ApplyWriteSet()
+				} else {
+					r.lat.ApplyWriteSetBatch(len(batch))
+				}
 			}
-			err = r.eng.ApplyWriteSet(ref.WS, ref.Version)
+			err = r.eng.ApplyWriteSetBatch(wss, start)
 		})
 		r.mu.Lock()
+		r.applying = nil
 		if err != nil {
 			// Ordering is enforced by construction; an apply failure
 			// here means state divergence, which must be loud.
-			panic(fmt.Sprintf("replica %d: refresh apply at %d: %v", r.cfg.ID, ref.Version, err))
+			panic(fmt.Sprintf("replica %d: refresh apply at %d..%d: %v", r.cfg.ID, start, last, err))
 		}
 		progress = true
-		r.appliedRefreshes.Add(1)
+		r.appliedRefreshes.Add(int64(len(batch)))
 		if o := r.obs.Load(); o != nil {
-			o.noteTables(ref.WS.Tables(), ref.Version)
-		}
-		// The commit notification to the certifier (eager accounting,
-		// §IV-D) travels one network hop and must not stall the
-		// drainer.
-		go func(v uint64) {
-			if r.lat != nil {
-				r.lat.NetworkHop()
+			for i := range batch {
+				o.noteTables(batch[i].WS.Tables(), batch[i].Version)
 			}
-			r.cert.Applied(r.cfg.ID, v)
-		}(ref.Version)
+		}
+		if r.benchPerWriteset {
+			// Baseline: the pre-batching per-refresh ack goroutine.
+			go func(v uint64) {
+				if r.lat != nil {
+					r.lat.NetworkHop()
+				}
+				r.cert.Applied(r.cfg.ID, v)
+			}(last)
+		} else if r.acks != nil {
+			r.acks.post(last)
+		}
 		r.cond.Broadcast()
 	}
 }
@@ -492,6 +595,18 @@ func (t *Txn) afterWrite() error {
 				break
 			}
 		}
+		// The drainer's in-flight batch left the reorder buffer but is
+		// not yet applied; each of its writesets must still be checked
+		// individually.
+		if !killed {
+			for i := range r.applying {
+				if r.applying[i].WS.ConflictsWith(ws) {
+					killed = true
+					t.killed = true
+					break
+				}
+			}
+		}
 		sub = r.sub
 	}
 	r.mu.Unlock()
@@ -545,6 +660,13 @@ type CommitResult struct {
 	// WrittenTables lists the tables in the writeset (empty for
 	// read-only) — the load balancer updates Vt from these.
 	WrittenTables []string
+	// TableVersions bounds, per touched table, the newest write this
+	// transaction can have observed (written tables report the commit
+	// version itself). The load balancer folds these into the session's
+	// per-table floors — the fine-grained session bound that lets a
+	// later transaction on a cold table start immediately while still
+	// never regressing below anything this one saw.
+	TableVersions map[string]uint64
 }
 
 // Commit finishes the transaction. Read-only transactions commit
@@ -570,9 +692,10 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 			}
 		})
 		snap := t.stx.Snapshot()
+		tv := t.r.eng.TableVersionsAt(t.Touched(), snap)
 		t.outcome, t.commitVersion, t.readOnly = "commit", snap, true
 		t.abortInternal() // releases the storage txn; nothing to apply
-		return CommitResult{Version: snap, ReadOnly: true}, nil
+		return CommitResult{Version: snap, ReadOnly: true, TableVersions: tv}, nil
 	}
 
 	// Certification round trip.
@@ -604,14 +727,29 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 	r.mu.Lock()
 	r.committing[dec.Version] = true
 	r.cond.Broadcast() // let the drainer re-evaluate its stop condition
-	for r.eng.Version() < dec.Version-1 && !r.crashed {
+	appliedAsRefresh := false
+	for {
+		if r.crashed {
+			delete(r.committing, dec.Version)
+			r.mu.Unlock()
+			t.abortInternal()
+			return CommitResult{}, ErrCrashed
+		}
+		// A resubscribe backfill replays certifier history, which
+		// includes this replica's OWN commits: if the claim above lost
+		// the race with the drainer, our writeset — identical content,
+		// straight from the certifier — is already installed (or is
+		// inside the in-flight batch). Committing it again would be a
+		// double apply, so adopt the refresh as our commit instead.
+		if r.eng.Version() >= dec.Version {
+			appliedAsRefresh = true
+			break
+		}
+		covered := len(r.applying) > 0 && r.applying[len(r.applying)-1].Version >= dec.Version
+		if r.eng.Version() == dec.Version-1 && !covered {
+			break // our turn: predecessors applied, our slot is free
+		}
 		r.cond.Wait()
-	}
-	if r.crashed {
-		delete(r.committing, dec.Version)
-		r.mu.Unlock()
-		t.abortInternal()
-		return CommitResult{}, ErrCrashed
 	}
 	r.mu.Unlock()
 
@@ -619,17 +757,19 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 	if t.timer != nil {
 		t.timer.Start(metrics.StageCommit)
 	}
-	var commitErr error
-	r.withSlot(func() {
-		if r.lat != nil {
-			r.lat.LocalCommit()
+	if !appliedAsRefresh {
+		var commitErr error
+		r.withSlot(func() {
+			if r.lat != nil {
+				r.lat.LocalCommit()
+			}
+			commitErr = r.eng.ApplyWriteSet(ws, dec.Version)
+		})
+		if commitErr != nil {
+			// The slot was claimed and predecessors applied; failure here
+			// is a protocol bug, not a runtime condition.
+			panic(fmt.Sprintf("replica %d: local commit at %d: %v", r.cfg.ID, dec.Version, commitErr))
 		}
-		commitErr = r.eng.ApplyWriteSet(ws, dec.Version)
-	})
-	if commitErr != nil {
-		// The slot was claimed and predecessors applied; failure here
-		// is a protocol bug, not a runtime condition.
-		panic(fmt.Sprintf("replica %d: local commit at %d: %v", r.cfg.ID, dec.Version, commitErr))
 	}
 	r.mu.Lock()
 	delete(r.committing, dec.Version)
@@ -655,7 +795,11 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		}
 	}
 
-	res := CommitResult{Version: dec.Version, WrittenTables: ws.Tables()}
+	tv := r.eng.TableVersionsAt(t.Touched(), t.stx.Snapshot())
+	for _, tab := range ws.Tables() {
+		tv[tab] = dec.Version
+	}
+	res := CommitResult{Version: dec.Version, WrittenTables: ws.Tables(), TableVersions: tv}
 	t.outcome, t.commitVersion = "commit", dec.Version
 	t.abortInternal() // storage txn state is no longer needed
 	return res, nil
@@ -677,12 +821,16 @@ func (r *Replica) Crash() {
 	}
 	r.reorder = make(map[uint64]certifier.Refresh)
 	r.committing = make(map[uint64]bool)
+	acks := r.acks
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	if acks != nil {
+		acks.stop()
+	}
 	r.cert.Unsubscribe(r.cfg.ID)
 }
 
-// Recover reattaches a crashed replica: it resubscribes, replays the
+// / Recover reattaches a crashed replica: it resubscribes, replays the
 // certifier history it missed, and resumes applying new refreshes.
 func (r *Replica) Recover() error {
 	r.mu.Lock()

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sconrep/internal/writeset"
+)
+
+func insertWS(id int64, owner string, bal float64) *writeset.WriteSet {
+	return &writeset.WriteSet{Items: []writeset.Item{
+		{Table: "acct", Key: EncodeKey(id), Op: writeset.OpInsert, Row: row(id, owner, bal, true)},
+	}}
+}
+
+func TestApplyWriteSetBatch(t *testing.T) {
+	e := newTestEngine(t)
+	batch := []*writeset.WriteSet{
+		insertWS(1, "ann", 1),
+		insertWS(2, "bob", 2),
+		insertWS(3, "ann", 3),
+	}
+	if err := e.ApplyWriteSetBatch(batch, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Version() != 3 {
+		t.Fatalf("Version = %d, want 3 (tail of batch)", e.Version())
+	}
+	// Every row is visible at the tail version, each stamped with its
+	// own position in the batch.
+	tx := e.Begin()
+	for id := int64(1); id <= 3; id++ {
+		r, ok, err := tx.Get("acct", EncodeKey(id))
+		if err != nil || !ok {
+			t.Fatalf("Get(%d) = %v, %v, %v", id, r, ok, err)
+		}
+	}
+	// Intermediate versions are still addressable after the fact: a
+	// snapshot at version 2 must see rows 1,2 but not 3.
+	mid, err := e.BeginAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := mid.Get("acct", EncodeKey(int64(2))); !ok {
+		t.Fatal("version-2 snapshot missing version-2 row")
+	}
+	if _, ok, _ := mid.Get("acct", EncodeKey(int64(3))); ok {
+		t.Fatal("version-2 snapshot sees version-3 row")
+	}
+}
+
+func TestApplyWriteSetBatchVersionCheck(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.ApplyWriteSetBatch(nil, 1); err != nil {
+		t.Fatalf("empty batch err = %v", err)
+	}
+	batch := []*writeset.WriteSet{insertWS(1, "a", 1)}
+	if err := e.ApplyWriteSetBatch(batch, 2); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("gap batch err = %v, want ErrBadVersion", err)
+	}
+	if err := e.ApplyWriteSetBatch(batch, 0); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("zero-start batch err = %v, want ErrBadVersion", err)
+	}
+	if err := e.ApplyWriteSetBatch(batch, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", e.Version())
+	}
+}
+
+func TestApplyWriteSetBatchMidBatchErrorKeepsPrefix(t *testing.T) {
+	e := newTestEngine(t)
+	bad := &writeset.WriteSet{Items: []writeset.Item{
+		// Wrong arity: CheckRow rejects it mid-batch.
+		{Table: "acct", Key: EncodeKey(int64(9)), Op: writeset.OpInsert, Row: []any{int64(9)}},
+	}}
+	batch := []*writeset.WriteSet{
+		insertWS(1, "ann", 1),
+		insertWS(2, "bob", 2),
+		bad,
+		insertWS(4, "cat", 4),
+	}
+	err := e.ApplyWriteSetBatch(batch, 1)
+	if err == nil {
+		t.Fatal("mid-batch bad row accepted")
+	}
+	// The version counter stops at the last fully applied writeset: the
+	// durable prefix [1,2]. Nothing past the failure is visible.
+	if e.Version() != 2 {
+		t.Fatalf("Version after mid-batch failure = %d, want 2", e.Version())
+	}
+	tx := e.Begin()
+	if _, ok, _ := tx.Get("acct", EncodeKey(int64(2))); !ok {
+		t.Fatal("prefix row 2 missing after mid-batch failure")
+	}
+	if _, ok, _ := tx.Get("acct", EncodeKey(int64(4))); ok {
+		t.Fatal("row past the failing writeset is visible")
+	}
+	// Recovery is a fresh batch starting right after the prefix.
+	if err := e.ApplyWriteSetBatch([]*writeset.WriteSet{insertWS(3, "cat", 3), insertWS(4, "dan", 4)}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e.Version() != 4 {
+		t.Fatalf("Version after retry = %d, want 4", e.Version())
+	}
+}
+
+func TestApplyWriteSetBatchUpdatesSecondaryIndexes(t *testing.T) {
+	e := newTestEngine(t)
+	batch := make([]*writeset.WriteSet, 0, 4)
+	for id := int64(1); id <= 4; id++ {
+		owner := "ann"
+		if id%2 == 0 {
+			owner = "bob"
+		}
+		batch = append(batch, insertWS(id, owner, float64(id)))
+	}
+	if err := e.ApplyWriteSetBatch(batch, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	kvs, err := tx.ScanIndexEq("acct", "acct_owner", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 || kvs[0].Row[0].(int64) != 1 || kvs[1].Row[0].(int64) != 3 {
+		t.Fatalf("index scan after batch = %v", kvs)
+	}
+}
+
+func TestApplyWriteSetBatchMatchesPerWriteset(t *testing.T) {
+	mk := func() []*writeset.WriteSet {
+		var wss []*writeset.WriteSet
+		for id := int64(1); id <= 8; id++ {
+			wss = append(wss, insertWS(id, fmt.Sprintf("o%d", id%3), float64(id)))
+		}
+		// An update and a delete over earlier rows, to cover all ops.
+		wss = append(wss, &writeset.WriteSet{Items: []writeset.Item{
+			{Table: "acct", Key: EncodeKey(int64(1)), Op: writeset.OpUpdate, Row: row(1, "upd", 99, false)},
+		}})
+		wss = append(wss, &writeset.WriteSet{Items: []writeset.Item{
+			{Table: "acct", Key: EncodeKey(int64(2)), Op: writeset.OpDelete},
+		}})
+		return wss
+	}
+	one, many := newTestEngine(t), newTestEngine(t)
+	for i, ws := range mk() {
+		if err := one.ApplyWriteSet(ws, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := many.ApplyWriteSetBatch(mk(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if one.Version() != many.Version() {
+		t.Fatalf("versions diverge: %d vs %d", one.Version(), many.Version())
+	}
+	t1, t2 := one.Begin(), many.Begin()
+	for id := int64(1); id <= 8; id++ {
+		r1, ok1, _ := t1.Get("acct", EncodeKey(id))
+		r2, ok2, _ := t2.Get("acct", EncodeKey(id))
+		if ok1 != ok2 {
+			t.Fatalf("key %d presence diverges: %v vs %v", id, ok1, ok2)
+		}
+		if ok1 && fmt.Sprint(r1) != fmt.Sprint(r2) {
+			t.Fatalf("key %d rows diverge: %v vs %v", id, r1, r2)
+		}
+	}
+}

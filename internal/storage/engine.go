@@ -109,6 +109,10 @@ type table struct {
 	schema  *Schema
 	rows    *btree.Tree          // encoded pk → *chain
 	indexes map[string]*secIndex // index name → index
+	// lastWrite is the newest version that installed an item (write or
+	// tombstone) into this table — the per-table Vt as the engine sees
+	// it, including not-yet-acknowledged refreshes.
+	lastWrite uint64
 }
 
 // Engine is a multiversion storage engine instance. All methods are
@@ -212,6 +216,27 @@ func (e *Engine) Version() uint64 {
 	return e.version
 }
 
+// TableVersionsAt returns, for each named table, the newest version
+// that wrote it, capped at snapshot — an upper bound on the newest
+// write a transaction reading at that snapshot can have observed.
+// Unknown tables and tables never written are omitted (their bound is
+// zero).
+func (e *Engine) TableVersionsAt(names []string, snapshot uint64) map[string]uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		if t, ok := e.tables[n]; ok && t.lastWrite > 0 {
+			v := t.lastWrite
+			if v > snapshot {
+				v = snapshot
+			}
+			out[n] = v
+		}
+	}
+	return out
+}
+
 // RowEstimate returns the number of primary keys present in a table
 // (including tombstoned chains); used by the SQL planner.
 func (e *Engine) RowEstimate(tableName string) int {
@@ -249,6 +274,7 @@ func (e *Engine) applyItem(it *writeset.Item, v uint64) error {
 		}
 	}
 	ch.head = nv
+	t.lastWrite = v
 	return nil
 }
 
@@ -268,6 +294,41 @@ func (e *Engine) ApplyWriteSet(ws *writeset.WriteSet, atVersion uint64) error {
 		}
 	}
 	e.version = atVersion
+	return nil
+}
+
+// ApplyWriteSetBatch commits a contiguous run of writesets in version
+// order under a single lock acquisition: wss[i] commits at
+// startVersion+i, and startVersion must be exactly Version()+1. The
+// whole batch is installed inside one critical section and only the
+// tail version is published, so no reader can ever observe an
+// intermediate version before its predecessors — the group-apply
+// equivalent of the per-writeset ordering check.
+//
+// On a mid-batch failure the version counter stops at the last fully
+// applied writeset (the contiguous durable prefix) and the error names
+// the offending version; the failing writeset may be partially
+// installed, which callers treat as state divergence (the replica
+// panics), exactly as with ApplyWriteSet.
+func (e *Engine) ApplyWriteSetBatch(wss []*writeset.WriteSet, startVersion uint64) error {
+	if len(wss) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if startVersion != e.version+1 {
+		return fmt.Errorf("%w: engine at %d, batch starts at %d", ErrBadVersion, e.version, startVersion)
+	}
+	for i, ws := range wss {
+		v := startVersion + uint64(i)
+		for j := range ws.Items {
+			if err := e.applyItem(&ws.Items[j], v); err != nil {
+				e.version = v - 1 // durable prefix: everything before the failing writeset
+				return fmt.Errorf("storage: batch apply at %d: %w", v, err)
+			}
+		}
+	}
+	e.version = startVersion + uint64(len(wss)) - 1
 	return nil
 }
 

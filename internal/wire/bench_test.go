@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/writeset"
+)
+
+// BenchmarkWireRefreshStream measures end-to-end refresh delivery over
+// a real TCP subscription link: certify on the server side, consume
+// the replica-side queue. The cost per refresh reflects the frame
+// batching (one gob frame per mailbox Take, never per refresh) and the
+// pooled encode buffers on the server's write path.
+func BenchmarkWireRefreshStream(b *testing.B) {
+	cert := certifier.New()
+	srv, err := ServeCertifier(cert, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := DialCertifier(srv.Addr(), 1, 0)
+	defer cli.Close()
+	q := cli.Subscribe(1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !cli.StreamLive(0) {
+		if time.Now().After(deadline) {
+			b.Fatal("refresh stream never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ws := &writeset.WriteSet{Items: []writeset.Item{
+		{Table: "t", Key: "hot", Op: writeset.OpUpdate, Row: []any{"x"}},
+	}}
+	done := make(chan struct{})
+	last := uint64(b.N)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		defer close(done)
+		var seen uint64
+		for seen < last {
+			batch, ok := q.Take()
+			if !ok {
+				return
+			}
+			for i := range batch {
+				if batch[i].Version > seen {
+					seen = batch[i].Version
+				}
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		// Snapshot tracks the version counter, so the single hot key
+		// never conflicts and every certification becomes a refresh.
+		d, err := cert.Certify(0, uint64(i+1), uint64(i), ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Commit {
+			b.Fatalf("certify %d aborted", i+1)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		b.Fatal("stream consumer stalled")
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "refreshes/s")
+}

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/gob"
+	"io"
+	"sync"
+)
+
+// encBufSize fits the common case — a response or a coalesced refresh
+// batch — without growing; larger frames spill through bufio's
+// large-write path untouched.
+const encBufSize = 32 << 10
+
+// encBufPool recycles encode buffers across connections. Gateways and
+// certifier links churn through short-lived connections under load
+// (session per client, reconnects after partitions); pooling keeps the
+// per-connection encode buffer off the garbage collector's plate.
+var encBufPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, encBufSize) },
+}
+
+// frameWriter pairs a gob encoder with a pooled write buffer so every
+// encoded frame — however many internal writes gob performs — reaches
+// the connection in as few syscalls as possible, and the buffer is
+// returned to the pool when the connection handler exits.
+type frameWriter struct {
+	bw  *bufio.Writer
+	enc *gob.Encoder
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	bw := encBufPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return &frameWriter{bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+// encode writes one frame and flushes it to the connection.
+func (f *frameWriter) encode(v any) error {
+	if err := f.enc.Encode(v); err != nil {
+		return err
+	}
+	return f.bw.Flush()
+}
+
+// release detaches the buffer from the connection and returns it to
+// the pool. The frameWriter must not be used afterwards.
+func (f *frameWriter) release() {
+	f.bw.Reset(io.Discard)
+	encBufPool.Put(f.bw)
+	f.bw = nil
+	f.enc = nil
+}

@@ -169,7 +169,8 @@ func (s *CertServer) handle(c net.Conn) {
 	}
 	defer s.untrack(c)
 	dec := gob.NewDecoder(c)
-	enc := gob.NewEncoder(c)
+	fw := newFrameWriter(c)
+	defer fw.release()
 	if d := s.opts.to.Idle; d > 0 {
 		c.SetReadDeadline(time.Now().Add(d))
 	}
@@ -180,9 +181,9 @@ func (s *CertServer) handle(c net.Conn) {
 	s.maybeAdopt(hello)
 	switch hello.Kind {
 	case "sub":
-		s.streamRefreshes(c, enc, hello.ReplicaID)
+		s.streamRefreshes(c, fw, hello.ReplicaID)
 	case "req":
-		s.serveRequests(c, dec, enc)
+		s.serveRequests(c, dec, fw)
 	}
 }
 
@@ -201,7 +202,11 @@ func (s *CertServer) maybeAdopt(h certHello) {
 	}
 }
 
-func (s *CertServer) streamRefreshes(c net.Conn, enc *gob.Encoder, replicaID int) {
+// streamRefreshes pumps the subscription to the replica, one gob frame
+// per Take batch — never per refresh. The mailbox coalesces bursts, so
+// a backlogged replica receives a few large frames instead of a frame
+// per committed transaction.
+func (s *CertServer) streamRefreshes(c net.Conn, fw *frameWriter, replicaID int) {
 	s.mu.Lock()
 	s.streamGen[replicaID]++
 	gen := s.streamGen[replicaID]
@@ -219,7 +224,7 @@ func (s *CertServer) streamRefreshes(c net.Conn, enc *gob.Encoder, replicaID int
 		if d := s.opts.to.Call; d > 0 {
 			c.SetWriteDeadline(time.Now().Add(d))
 		}
-		if err := enc.Encode(refreshBatch{Refreshes: batch}); err != nil {
+		if err := fw.encode(refreshBatch{Refreshes: batch}); err != nil {
 			return
 		}
 	}
@@ -254,7 +259,7 @@ func (s *CertServer) releaseStream(replicaID, gen int, sub *certifier.Subscripti
 	})
 }
 
-func (s *CertServer) serveRequests(c net.Conn, dec *gob.Decoder, enc *gob.Encoder) {
+func (s *CertServer) serveRequests(c net.Conn, dec *gob.Decoder, fw *frameWriter) {
 	var guard seqGuard
 	for {
 		if d := s.opts.to.Idle; d > 0 {
@@ -297,7 +302,7 @@ func (s *CertServer) serveRequests(c net.Conn, dec *gob.Decoder, enc *gob.Encode
 		if d := s.opts.to.Call; d > 0 {
 			c.SetWriteDeadline(time.Now().Add(d))
 		}
-		if err := enc.Encode(&resp); err != nil {
+		if err := fw.encode(&resp); err != nil {
 			return
 		}
 	}

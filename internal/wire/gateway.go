@@ -184,7 +184,8 @@ func (g *Gateway) handle(c net.Conn) {
 		g.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(c)
-	enc := gob.NewEncoder(c)
+	fw := newFrameWriter(c)
+	defer fw.release()
 	var hello clientHello
 	if err := dec.Decode(&hello); err != nil {
 		return
@@ -210,7 +211,7 @@ func (g *Gateway) handle(c net.Conn) {
 		}
 		resp := g.dispatch(sess, &req)
 		resp.Seq = req.Seq
-		if err := enc.Encode(resp); err != nil {
+		if err := fw.encode(resp); err != nil {
 			return
 		}
 	}

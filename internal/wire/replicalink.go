@@ -224,7 +224,8 @@ func (s *ReplicaServer) handle(c net.Conn) {
 		s.mu.Unlock()
 	}()
 	dec := gob.NewDecoder(c)
-	enc := gob.NewEncoder(c)
+	fw := newFrameWriter(c)
+	defer fw.release()
 	var guard seqGuard
 	for {
 		if d := s.opts.to.Idle; d > 0 {
@@ -243,7 +244,7 @@ func (s *ReplicaServer) handle(c net.Conn) {
 		if d := s.opts.to.Call; d > 0 {
 			c.SetWriteDeadline(time.Now().Add(d))
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := fw.encode(resp); err != nil {
 			return
 		}
 	}
