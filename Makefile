@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos bench bench-hotpath sweep examples clean
+.PHONY: all build test race vet lint ci chaos bench bench-hotpath sweep examples clean
+
+# Pinned external linter versions (CI installs these; locally they run
+# only when already on PATH — the build never downloads tools).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
 
 all: build test
 
@@ -19,11 +24,29 @@ vet:
 	$(GO) vet ./...
 	gofmt -l .
 
+# Project-specific static analysis (sconrep-vet: FSC table-sets, lock
+# discipline, chaos determinism) plus staticcheck/govulncheck when
+# installed. sconrep-vet must run from the module root: its loader
+# resolves module-local imports through the source importer.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sconrep-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI pins $(STATICCHECK_VERSION))"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
+
 # The same gate CI runs (.github/workflows/ci.yml): build, vet,
-# formatting (fails on any unformatted file), tests, race tests.
+# sconrep-vet, formatting (fails on any unformatted file), tests, race
+# tests.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/sconrep-vet ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...

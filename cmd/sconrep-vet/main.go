@@ -1,0 +1,146 @@
+// Command sconrep-vet runs sconrep's custom static-analysis suite
+// (tableset, lockcheck, determinism — see internal/analysis) over the
+// module:
+//
+//	sconrep-vet [-run tableset,lockcheck,determinism] [packages]
+//
+// Packages default to ./... and are resolved with `go list`, so the
+// command must run from the module root (`make lint` does). Any
+// diagnostic fails the run; errors are consistency holes, warnings
+// are performance or hygiene regressions, and the tree is kept clean
+// of both.
+//
+// The suite is built on a stdlib-only mirror of
+// golang.org/x/tools/go/analysis; if x/tools is ever vendored, the
+// analyzers port to a unitchecker-based vettool unchanged and this
+// driver becomes `go vet -vettool=sconrep-vet ./...`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"sconrep/internal/analysis"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	detPkgs := flag.String("determinism.pkgs", "",
+		"comma-separated extra package paths holding seeded (replay-critical) code")
+	flag.Parse()
+
+	if *detPkgs != "" {
+		analysis.DeterminismSeeded = append(analysis.DeterminismSeeded, strings.Split(*detPkgs, ",")...)
+	}
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sconrep-vet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sconrep-vet:", err)
+		os.Exit(2)
+	}
+
+	loader := analysis.NewLoader()
+	findings := 0
+	for _, p := range pkgs {
+		files := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(p.ImportPath, files)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sconrep-vet:", err)
+			os.Exit(2)
+		}
+		diags, err := analysis.Run(pkg, loader.Fset, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sconrep-vet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			findings++
+			pos := loader.Fset.Position(d.Pos)
+			rel := pos.Filename
+			if wd, err := os.Getwd(); err == nil {
+				if r, err := filepath.Rel(wd, pos.Filename); err == nil {
+					rel = r
+				}
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Severity, d.Message)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "sconrep-vet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have tableset, lockcheck, determinism)", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// listPkg is the slice of `go list -json` output the driver needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// goList resolves package patterns to source file lists, exactly as
+// the build sees them (testdata and _test.go files excluded).
+func goList(patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sconrep/internal/analysis"
+	"sconrep/internal/analysis/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// TestTableSet covers the acceptance case directly: the fixture's
+// "fix.under" transaction had a statement removed from its TxnNames
+// declaration with the body unchanged, and the analyzer must error.
+func TestTableSet(t *testing.T) {
+	analysistest.Run(t, fixture("tableset"), analysis.TableSet)
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, fixture("lockcheck"), analysis.LockCheck)
+}
+
+func TestDeterminism(t *testing.T) {
+	saved := analysis.DeterminismSeeded
+	analysis.DeterminismSeeded = append([]string{"determinism"}, saved...)
+	defer func() { analysis.DeterminismSeeded = saved }()
+	analysistest.Run(t, fixture("determinism"), analysis.Determinism)
+}
+
+// TestSuiteSilentOnCleanPackage runs all three analyzers over a
+// package with no TxnNames registry, no guard annotations, and no
+// seeded-path registration: the suite must stay quiet rather than
+// speculate.
+func TestSuiteSilentOnCleanPackage(t *testing.T) {
+	analysistest.Run(t, fixture("clean"), analysis.Analyzers()...)
+}

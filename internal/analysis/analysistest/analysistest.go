@@ -1,0 +1,112 @@
+// Package analysistest runs analyzers over fixture packages and
+// checks their findings against in-source expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is one directory under testdata/src containing a
+// self-contained package (stdlib imports only). Expected findings are
+// `// want "regexp"` comments: each declares that a diagnostic whose
+// message matches the regexp must be reported on that comment's line.
+// Multiple quoted regexps declare multiple expected findings. Any
+// unmatched expectation and any unexpected diagnostic fails the test.
+// _test.go files in the fixture are loaded too, so exemptions for
+// test files are themselves testable.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sconrep/internal/analysis"
+)
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var quotedRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture package rooted at dir, applies the analyzers,
+// and reports mismatches between findings and want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir(dir, true)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, loader.Fset, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, loader.Fset, pkg)
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		if w := match(wants, pos, d.Message); w == nil {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, d.Severity, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func match(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, w := range wants {
+		if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.met = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants extracts `// want "..."` expectations from every
+// comment in the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(text[len("want "):], -1) {
+					pat, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		if len(q) < 2 || !strings.HasSuffix(q, "`") {
+			return "", fmt.Errorf("unterminated raw quote")
+		}
+		return q[1 : len(q)-1], nil
+	}
+	return strconv.Unquote(q)
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismSeeded lists the packages whose behavior must replay
+// bit-identically from SCONREP_CHAOS_SEED: the fault injector, the
+// latency model, and the TPC-W workload generator. Matched by import
+// path or path suffix; the fixture tests and the driver's
+// -determinism.pkgs flag can extend it.
+var DeterminismSeeded = []string{
+	"sconrep/internal/fault",
+	"sconrep/internal/latency",
+	"sconrep/internal/workload/tpcw",
+}
+
+// DeterminismOrderTag marks a map-iteration site whose downstream
+// effect is genuinely order-independent (e.g. registering entries in
+// an order-free registry). Place it in a comment on the range
+// statement's line or the line above.
+const DeterminismOrderTag = "det:order-insensitive"
+
+// Determinism forbids the three classic replay-breakers in the seeded
+// packages, outside _test.go files:
+//
+//   - time.Now / time.Since / time.After: wall-clock reads feed values
+//     into the run that no seed controls. Durations and time.Sleep
+//     remain fine — they shape pacing, not decisions.
+//   - math/rand's global functions (rand.Intn, rand.Float64, ...):
+//     the global source is shared process-wide, so any other
+//     goroutine's draw shifts the stream. Constructors (rand.New,
+//     rand.NewSource, rand.NewZipf) are the approved way to build the
+//     per-component seeded streams.
+//   - map iteration: range order differs run to run. Sort the keys,
+//     or annotate the statement with "det:order-insensitive" when the
+//     loop's effect provably commutes.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "seeded chaos/latency/workload packages must stay replayable from SCONREP_CHAOS_SEED",
+	Run:  runDeterminism,
+}
+
+// randSeedable are the math/rand package functions that construct
+// explicitly seeded generators; everything else draws from the global
+// source.
+var randSeedable = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !seededPackage(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests may use wall clocks and ad-hoc randomness
+		}
+		tagged := orderTagLines(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				t, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := t.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				line := pass.Fset.Position(n.Pos()).Line
+				if tagged[line] || tagged[line-1] {
+					return true
+				}
+				pass.Reportf(n.Pos(), Error,
+					"map iteration order is nondeterministic and breaks SCONREP_CHAOS_SEED replay: sort the keys, or annotate the statement %q if its effect is order-independent",
+					"// "+DeterminismOrderTag)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		switch sel.Sel.Name {
+		case "Now", "Since", "After", "Tick":
+			pass.Reportf(call.Pos(), Error,
+				"time.%s reads the wall clock in a seeded package: the value is outside SCONREP_CHAOS_SEED's control; derive timing from the latency model or pass a clock in",
+				sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if randSeedable[sel.Sel.Name] {
+			return
+		}
+		pass.Reportf(call.Pos(), Error,
+			"rand.%s draws from the process-global source, which any goroutine can perturb: use the component's seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+			sel.Sel.Name)
+	}
+}
+
+func seededPackage(path string) bool {
+	for _, e := range DeterminismSeeded {
+		if path == e || strings.HasSuffix(path, e) || strings.HasSuffix(e, "/"+path) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderTagLines returns the file lines carrying the order-insensitive
+// tag (a tag covers its own line and the one below).
+func orderTagLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, DeterminismOrderTag) {
+				lines[pass.Fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return lines
+}

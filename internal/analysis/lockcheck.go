@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockCheck enforces the repo's lock-discipline convention in the
+// mutex-heavy hot packages: a struct field carrying a
+// "// guarded by <mu>" comment may only be read or written in
+// functions that acquire the named sibling mutex (Lock or RLock) on
+// the same receiver before the access, or that are documented as
+// running with it held.
+//
+// The check is intraprocedural and position-based — an acquisition
+// anywhere earlier in the function counts, so an unlock/re-access
+// bug can slip through (the race detector owns that class); what it
+// catches is the review-resistant case of a new code path touching
+// guarded state with no locking at all.
+//
+// Escapes, in order of preference:
+//   - name the function with a "Locked" suffix (it runs under the
+//     caller's critical section), or
+//   - say "caller holds <mu>" (or "called with <mu> held") in the
+//     function's doc comment.
+//
+// Accesses through function-local variables are exempt: a value that
+// has not escaped its constructor needs no lock.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  `fields annotated "guarded by <mu>" must be accessed with the mutex held`,
+	Run:  runLockCheck,
+}
+
+var (
+	guardedRe    = regexp.MustCompile(`guarded by (\w+)`)
+	callerHoldRe = regexp.MustCompile(`(?i)caller(s)? (must )?hold|called with \w+ held|holding \w+`)
+)
+
+func runLockCheck(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncLocks(pass, guards, fn)
+		}
+	}
+	return nil
+}
+
+// guardKey identifies a struct field within the package.
+type guardKey struct {
+	typeName string
+	field    string
+}
+
+// collectGuards maps annotated fields to their guarding mutex name,
+// validating that the named mutex is a sibling field.
+func collectGuards(pass *Pass) map[guardKey]string {
+	guards := map[guardKey]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := guardAnnotation(f)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(f.Pos(), Error,
+						"%s: guarded-by mutex %q is not a field of %s", ts.Name.Name, mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					guards[guardKey{ts.Name.Name, name.Name}] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "" if unannotated.
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkFuncLocks(pass *Pass, guards map[guardKey]string, fn *ast.FuncDecl) {
+	if exemptFunc(fn) {
+		return
+	}
+	// One pass to record acquisitions: base.mu.Lock() / base.mu.RLock().
+	type acquire struct {
+		base string
+		mu   string
+		pos  token.Pos
+	}
+	var acquires []acquire
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		acquires = append(acquires, acquire{types.ExprString(muSel.X), muSel.Sel.Name, call.Pos()})
+		return true
+	})
+	held := func(base, mu string, at token.Pos) bool {
+		for _, a := range acquires {
+			if a.base == base && a.mu == mu && a.pos < at {
+				return true
+			}
+		}
+		return false
+	}
+	// Second pass: every selector that resolves to a guarded field.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		owner := namedOf(selection.Recv())
+		if owner == nil || owner.Obj().Pkg() != pass.Pkg {
+			return true
+		}
+		mu, ok := guards[guardKey{owner.Obj().Name(), sel.Sel.Name}]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if held(base, mu, sel.Pos()) {
+			return true
+		}
+		if localBase(pass, fn, sel.X) {
+			return true // unescaped constructor-local value
+		}
+		pass.Reportf(sel.Pos(), Error,
+			"%s.%s is guarded by %s but accessed without %s.%s held in %s (lock first, add a Locked suffix, or document \"caller holds %s\")",
+			owner.Obj().Name(), sel.Sel.Name, mu, base, mu, fn.Name.Name, mu)
+		return true
+	})
+}
+
+// exemptFunc reports whether the function is documented to run inside
+// the caller's critical section.
+func exemptFunc(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if len(name) > 6 && name[len(name)-6:] == "Locked" {
+		return true
+	}
+	return fn.Doc != nil && callerHoldRe.MatchString(fn.Doc.Text())
+}
+
+// namedOf unwraps pointers to the receiver's named type.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// localBase reports whether the access base is a variable declared
+// inside this function body (a value still private to its creator).
+func localBase(pass *Pass, fn *ast.FuncDecl, base ast.Expr) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= fn.Body.Pos() && obj.Pos() <= fn.Body.End()
+}

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	sqlpkg "sconrep/internal/sql"
+)
+
+// TableSet verifies the paper's §III-B premise that each transaction's
+// static table-set is extracted from the workload, not hand-maintained
+// into drift. For every package that declares a TxnNames registry
+// (`var TxnNames = map[string][]*sql.Prepared{...}`) it:
+//
+//  1. resolves every package-level `stX, _ = sql.Prepare(`...`)`
+//     variable to its SQL string and re-extracts the statement's
+//     tables with the repo's own internal/sql parser (the same code
+//     RegisterTxn trusts at runtime);
+//  2. traces each function containing `s.Begin("name")` and collects
+//     the prepared statements passed to `tx.Exec` (and literal SQL
+//     passed to `tx.ExecSQL`) in that body;
+//  3. diffs the body's table-set against the declared one.
+//
+// An under-declared table is an Error: the fine-grained mode will not
+// wait for that table's version, so the transaction can read stale
+// data with no failure signal. An over-declared table is a Warning:
+// FSC waits for a table the body never touches, adding start delay
+// and eroding the fine-grained edge of §III-C.
+//
+// The analyzer is deliberately conservative: every statement handle
+// reaching Exec must be a package-level sql.Prepare variable, and all
+// of a transaction's Execs must live in the function that calls
+// Begin. Anything it cannot resolve statically is itself an Error —
+// the convention is what makes the table-sets provable.
+var TableSet = &Analyzer{
+	Name: "tableset",
+	Doc:  "declared FSC table-sets must match the tables transaction bodies touch",
+	Run:  runTableSet,
+}
+
+// txnDecl is one TxnNames entry.
+type txnDecl struct {
+	pos    token.Pos
+	stmts  []string        // declared statement variable names
+	tables map[string]bool // union of their table-sets
+	via    map[string]string
+}
+
+func runTableSet(pass *Pass) error {
+	prepared, prepErr := collectPrepared(pass)
+	declared := collectTxnNames(pass, prepared)
+	if declared == nil {
+		return nil // package has no TxnNames registry; not a workload package
+	}
+	if prepErr {
+		return nil // already reported; table-sets would be incomplete
+	}
+
+	type use struct {
+		table string
+		pos   token.Pos
+		via   string
+	}
+	used := map[string][]use{}    // txn name -> touched tables
+	beginPos := map[string]bool{} // txn names whose body we saw
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name, pos, ok := beginName(pass, fn)
+			if !ok {
+				continue
+			}
+			if _, ok := declared[name]; !ok {
+				pass.Reportf(pos, Error,
+					"transaction %q is not declared in TxnNames: the load balancer has no table-set for it", name)
+				continue
+			}
+			beginPos[name] = true
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Exec":
+					id, ok := call.Args[0].(*ast.Ident)
+					if !ok {
+						pass.Reportf(call.Pos(), Error,
+							"transaction %q: Exec statement is not a package-level sql.Prepare variable; its tables cannot be proven", name)
+						return true
+					}
+					sqlSrc, ok := prepared[id.Name]
+					if !ok {
+						pass.Reportf(call.Pos(), Error,
+							"transaction %q: Exec statement %s does not resolve to a package-level sql.Prepare variable", name, id.Name)
+						return true
+					}
+					for _, t := range tablesOf(sqlSrc) {
+						used[name] = append(used[name], use{t, call.Pos(), id.Name})
+					}
+				case "ExecSQL":
+					src, ok := stringLit(call.Args[0])
+					if !ok {
+						pass.Reportf(call.Pos(), Error,
+							"transaction %q: ExecSQL with a non-literal statement; its tables cannot be proven", name)
+						return true
+					}
+					for _, t := range tablesOf(src) {
+						used[name] = append(used[name], use{t, call.Pos(), "literal SQL"})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Diff used against declared, per transaction.
+	names := make([]string, 0, len(declared))
+	for n := range declared {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := declared[name]
+		if !beginPos[name] {
+			continue // body not in this package; nothing to diff against
+		}
+		seen := map[string]bool{}
+		for _, u := range used[name] {
+			if !d.tables[u.table] && !seen[u.table] {
+				seen[u.table] = true
+				pass.Reportf(u.pos, Error,
+					"transaction %q executes %s touching table %q missing from its TxnNames table-set: FSC will not synchronize on it (stale reads, no failure signal)",
+					name, u.via, u.table)
+			}
+			seen[u.table] = true
+		}
+		var over []string
+		for t := range d.tables {
+			if !seen[t] {
+				over = append(over, t)
+			}
+		}
+		sort.Strings(over)
+		for _, t := range over {
+			pass.Reportf(d.pos, Warning,
+				"transaction %q declares table %q (via %s) that its body never touches: FSC waits on it for nothing (needless start delay)",
+				name, t, d.via[t])
+		}
+	}
+	return nil
+}
+
+// collectPrepared maps package-level `name, _ = sql.Prepare(lit)`
+// variables to their SQL source. Reports (and flags) Prepare calls
+// whose statement is not a string literal.
+func collectPrepared(pass *Pass) (map[string]string, bool) {
+	out := map[string]string{}
+	bad := false
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 1 || len(vs.Names) == 0 {
+					continue
+				}
+				call, ok := vs.Values[0].(*ast.CallExpr)
+				if !ok || calleeName(call) != "Prepare" || len(call.Args) == 0 {
+					continue
+				}
+				src, ok := stringLit(call.Args[0])
+				if !ok {
+					pass.Reportf(call.Pos(), Error,
+						"sql.Prepare argument for %s is not a string literal; its table-set cannot be proven", vs.Names[0].Name)
+					bad = true
+					continue
+				}
+				out[vs.Names[0].Name] = src
+			}
+		}
+	}
+	return out, bad
+}
+
+// collectTxnNames parses the TxnNames registry literal. Returns nil if
+// the package declares none.
+func collectTxnNames(pass *Pass, prepared map[string]string) map[string]*txnDecl {
+	var out map[string]*txnDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "TxnNames" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				if out == nil {
+					out = map[string]*txnDecl{}
+				}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					name, ok := stringLit(kv.Key)
+					if !ok {
+						pass.Reportf(kv.Pos(), Error, "TxnNames key is not a string literal")
+						continue
+					}
+					d := &txnDecl{pos: kv.Pos(), tables: map[string]bool{}, via: map[string]string{}}
+					val, ok := kv.Value.(*ast.CompositeLit)
+					if !ok {
+						pass.Reportf(kv.Value.Pos(), Error, "TxnNames[%q] value is not a statement-list literal", name)
+						continue
+					}
+					for _, s := range val.Elts {
+						id, ok := s.(*ast.Ident)
+						if !ok {
+							pass.Reportf(s.Pos(), Error, "TxnNames[%q] entry is not a prepared-statement variable", name)
+							continue
+						}
+						src, ok := prepared[id.Name]
+						if !ok {
+							pass.Reportf(s.Pos(), Error,
+								"TxnNames[%q] entry %s does not resolve to a package-level sql.Prepare variable", name, id.Name)
+							continue
+						}
+						d.stmts = append(d.stmts, id.Name)
+						for _, t := range tablesOf(src) {
+							d.tables[t] = true
+							if _, dup := d.via[t]; !dup {
+								d.via[t] = id.Name
+							}
+						}
+					}
+					out[name] = d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// beginName finds the function's s.Begin("name") call. ok is false if
+// the function begins no named transaction.
+func beginName(pass *Pass, fn *ast.FuncDecl) (name string, pos token.Pos, ok bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != "Begin" || len(call.Args) != 1 {
+			return true
+		}
+		lit, isLit := stringLit(call.Args[0])
+		if !isLit {
+			pass.Reportf(call.Pos(), Error,
+				"Begin with a non-literal transaction name; its table-set cannot be resolved statically")
+			return true
+		}
+		name, pos, ok = lit, call.Pos(), true
+		return false
+	})
+	return name, pos, ok
+}
+
+// tablesOf re-extracts a statement's tables with the repo's own SQL
+// front end — the exact code the runtime trusts via RegisterTxn.
+func tablesOf(src string) []string {
+	p, err := sqlpkg.Prepare(src)
+	if err != nil {
+		// Unparseable SQL fails at package init long before analysis;
+		// treat as no tables rather than double-reporting.
+		return nil
+	}
+	return p.TableSet
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		// Raw strings with backticks unquote fine; anything else is a
+		// parser bug, not ours.
+		return strings.Trim(lit.Value, "`\""), true
+	}
+	return s, true
+}

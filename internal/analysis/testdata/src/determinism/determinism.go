@@ -1,0 +1,59 @@
+// Fixture for the determinism analyzer: wall-clock reads, global
+// math/rand draws, and unannotated map iteration are replay-breakers;
+// seeded generators, time.Sleep, and annotated or slice iteration are
+// fine. The test registers this package as seeded.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock in a seeded package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock in a seeded package`
+}
+
+func pause(d time.Duration) {
+	time.Sleep(d) // ok: shapes pacing, not decisions
+}
+
+func draw() int {
+	return rand.Intn(6) // want `rand.Intn draws from the process-global source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded stream
+	return r.Intn(6)
+}
+
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		t += v
+	}
+	return t
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	// Collecting keys then sorting makes the output order-free.
+	// det:order-insensitive
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func total(xs []int) int {
+	t := 0
+	for _, x := range xs { // ok: slice iteration is ordered
+		t += x
+	}
+	return t
+}

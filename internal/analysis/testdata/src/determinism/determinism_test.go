@@ -1,0 +1,9 @@
+package determinism
+
+import "time"
+
+// Test files are exempt: a wall-clock read here must produce no
+// diagnostic even though the package is seeded.
+func testOnlyClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,83 @@
+// Fixture for the tableset analyzer: a self-contained stand-in for a
+// workload package. Local Prepare/Session/Tx stubs mirror the shapes
+// of sconrep/internal/sql and sconrep/internal/cluster; the analyzer
+// matches Begin/Exec/Prepare/TxnNames structurally, so no module
+// imports are needed.
+package tableset
+
+type Prepared struct{ SQL string }
+
+func Prepare(src string) (*Prepared, error) { return &Prepared{SQL: src}, nil }
+
+var (
+	stReadT1, _  = Prepare(`SELECT a FROM t1 WHERE a = ?`)
+	stWriteT2, _ = Prepare(`UPDATE t2 SET b = ? WHERE a = ?`)
+	stReadT3, _  = Prepare(`SELECT a FROM t3 WHERE a = ?`)
+)
+
+var TxnNames = map[string][]*Prepared{
+	"fix.ok": {stReadT1, stWriteT2},
+	// Deliberately under-declared: stWriteT2 was removed from the
+	// declaration without changing underTxn's body, the exact drift
+	// that silently breaks FSC.
+	"fix.under": {stReadT1},
+	"fix.over":  {stReadT1, stReadT3}, // want `transaction "fix.over" declares table "t3" \(via stReadT3\) that its body never touches`
+}
+
+type Tx struct{}
+
+func (t *Tx) Exec(p *Prepared, args ...any) (int, error)   { return 0, nil }
+func (t *Tx) ExecSQL(src string, args ...any) (int, error) { return 0, nil }
+func (t *Tx) Commit() (int, error)                         { return 0, nil }
+func (t *Tx) Abort()                                       {}
+
+type Session struct{}
+
+func (s *Session) Begin(name string) (*Tx, error) { return &Tx{}, nil }
+
+// okTxn's body matches its declaration exactly: no findings.
+func okTxn(s *Session) error {
+	tx, _ := s.Begin("fix.ok")
+	tx.Exec(stReadT1, 1)
+	tx.Exec(stWriteT2, 2, 1)
+	tx.Commit()
+	return nil
+}
+
+// underTxn still writes t2, but the declaration above no longer says
+// so: FSC would not synchronize on t2 before starting this
+// transaction.
+func underTxn(s *Session) error {
+	tx, _ := s.Begin("fix.under")
+	tx.Exec(stReadT1, 1)
+	tx.Exec(stWriteT2, 2, 1) // want `transaction "fix.under" executes stWriteT2 touching table "t2" missing from its TxnNames table-set`
+	tx.Commit()
+	return nil
+}
+
+// overTxn only reads t1; the declared stReadT3 is pure start-delay.
+func overTxn(s *Session) error {
+	tx, _ := s.Begin("fix.over")
+	tx.Exec(stReadT1, 1)
+	tx.Commit()
+	return nil
+}
+
+// unknownTxn begins a name with no TxnNames entry at all.
+func unknownTxn(s *Session) error {
+	tx, _ := s.Begin("fix.unknown") // want `transaction "fix.unknown" is not declared in TxnNames`
+	tx.Exec(stReadT1, 1)
+	tx.Commit()
+	return nil
+}
+
+// dynamicTxn defeats static resolution two ways: a locally built
+// statement handle and non-literal SQL.
+func dynamicTxn(s *Session, src string) error {
+	tx, _ := s.Begin("fix.ok")
+	local := &Prepared{SQL: src}
+	tx.Exec(local, 1)  // want `Exec statement local does not resolve to a package-level sql.Prepare variable`
+	tx.ExecSQL(src, 1) // want `ExecSQL with a non-literal statement`
+	tx.Commit()
+	return nil
+}

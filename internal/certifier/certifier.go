@@ -77,23 +77,37 @@ const memoCap = 8192
 // Certifier orders and certifies update transactions. All methods are
 // safe for concurrent use.
 type Certifier struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// version is the latest assigned commit version.
+	// guarded by mu
 	version uint64
-	index   *writeset.Index
-	floor   uint64 // snapshots below floor cannot be certified
+	// index is the conflict index over the certification window.
+	// guarded by mu
+	index *writeset.Index
+	// floor: snapshots below floor cannot be certified.
+	// guarded by mu
+	floor uint64
+	// history is the refresh log over the certification window.
+	// guarded by mu
 	history []historyEntry
-	subs    map[int]*mailbox
-	log     *wal.Log
-	lat     *latency.Source
-	glog    *groupLog
+	// subs maps replica ID to its refresh mailbox.
+	// guarded by mu
+	subs map[int]*mailbox
+	log  *wal.Log
+	lat  *latency.Source
+	glog *groupLog
 
 	// eager mode bookkeeping: per-version apply counters.
 	eager bool
+	// waits tracks outstanding eager global-commit waits.
+	// guarded by mu
 	waits map[uint64]*eagerWait
 
 	// Commit-decision memo for retried certification requests (a lost
 	// response must not turn into a duplicate version).
-	memo      map[memoKey]memoEntry
+	// guarded by mu
+	memo map[memoKey]memoEntry
+	// guarded by mu
 	memoOrder []memoKey
 
 	// Live-observability counters (nil-safe no-ops until EnableObs).

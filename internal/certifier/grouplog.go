@@ -17,15 +17,25 @@ import (
 // predecessors are durable) without limiting throughput to one forced
 // write per transaction.
 type groupLog struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  map[uint64]*wal.Record
-	logged   uint64 // all versions <= logged are durable
-	next     uint64 // next version to write (logged+1)
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending holds records awaiting the group flush.
+	// guarded by mu
+	pending map[uint64]*wal.Record
+	// logged: all versions <= logged are durable.
+	// guarded by mu
+	logged uint64
+	// next is the next version to write (logged+1).
+	// guarded by mu
+	next uint64
+	// flushing marks an in-flight leader flush.
+	// guarded by mu
 	flushing bool
 	log      *wal.Log
 	lat      *latency.Source
-	err      error // first durable-write failure; fatal for the log
+	// err is the first durable-write failure; fatal for the log.
+	// guarded by mu
+	err error
 }
 
 // pendingLen reports how many records await the group-commit flush —

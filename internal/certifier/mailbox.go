@@ -10,9 +10,13 @@ import (
 // replica (that is exactly the coupling the lazy design removes), so
 // sends always succeed; the applier drains at its own pace.
 type mailbox struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// items is the queued refresh backlog.
+	// guarded by mu
 	items  []Refresh
 	notify chan struct{} // 1-buffered wakeup
+	// closed drops further puts.
+	// guarded by mu
 	closed bool
 }
 

@@ -62,6 +62,10 @@ type Cluster struct {
 	nextSess  atomic.Int64
 	nextTxn   atomic.Uint64
 	loaded    bool
+	// commitObs, when set, observes every committed transaction's
+	// runtime table accesses (see ObserveCommits). Set once, before
+	// serving traffic.
+	commitObs func(txnName string, readTables, writtenTables []string)
 	// net is non-nil for a NewNetworked cluster: sessions then run over
 	// wire clients against a real TCP gateway instead of calling the
 	// balancer in process.
@@ -172,6 +176,18 @@ func (c *Cluster) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
 		r.EnableObs(reg, tr)
 	}
 	c.balancer.EnableObs(reg)
+}
+
+// ObserveCommits installs fn as the cluster's commit observer: it is
+// called once per committed transaction with the transaction's
+// registered name (as passed to Begin), the tables it read, and the
+// tables it wrote — the runtime ground truth against the static
+// table-set dictionary the fine-grained mode routes on. The dynamic
+// oracle tests use it to assert observed ⊆ declared for every TPC-W
+// transaction. Call once, before serving traffic; fn must be safe for
+// concurrent use.
+func (c *Cluster) ObserveCommits(fn func(txnName string, readTables, writtenTables []string)) {
+	c.commitObs = fn
 }
 
 // Mode returns the consistency configuration.
@@ -502,6 +518,9 @@ func (t *Tx) Commit() (replica.CommitResult, error) {
 		syncDelay = t.timer.Stage(metrics.StageGlobal)
 	}
 	t.s.c.coll.RecordCommit(t.timer, !res.ReadOnly, acked.Sub(t.submit), syncDelay)
+	if obs := t.s.c.commitObs; obs != nil {
+		obs(t.name, readTables, res.WrittenTables)
+	}
 	if rec := t.s.c.rec; rec != nil {
 		rec.Record(history.Event{
 			TxnID:       t.s.c.nextTxn.Add(1),
@@ -532,6 +551,9 @@ func (t *Tx) netCommit() (replica.CommitResult, error) {
 	acked := time.Now()
 	t.timer.Stop()
 	t.s.c.coll.RecordCommit(t.timer, !info.ReadOnly, acked.Sub(t.submit), 0)
+	if obs := t.s.c.commitObs; obs != nil {
+		obs(t.name, info.ReadTables, info.WriteTables)
+	}
 	if rec := t.s.c.rec; rec != nil {
 		rec.Record(history.Event{
 			TxnID:       t.s.c.nextTxn.Add(1),

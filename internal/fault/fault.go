@@ -72,12 +72,20 @@ type Config struct {
 // decision sequence is deterministic per seed even if its assignment
 // to operations depends on scheduling.
 type Injector struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
-	cfg    Config
+	mu sync.Mutex
+	// rng is the seeded decision stream.
+	// guarded by mu
+	rng *rand.Rand
+	cfg Config
+	// active toggles probabilistic faults.
+	// guarded by mu
 	active bool
-	cut    map[string]bool
-	conns  map[*faultConn]struct{}
+	// cut holds the currently partitioned labels.
+	// guarded by mu
+	cut map[string]bool
+	// conns is the registry of live injected connections.
+	// guarded by mu
+	conns map[*faultConn]struct{}
 }
 
 // New returns an injector with probabilistic faults active.
@@ -144,6 +152,9 @@ func (in *Injector) Cut(labels ...string) {
 		in.cut[l] = true
 	}
 	var victims []*faultConn
+	// No rng draws here, and severing a set of connections commutes;
+	// only the decision streams must replay bit-identically.
+	// det:order-insensitive
 	for fc := range in.conns {
 		if in.cut[fc.label] {
 			victims = append(victims, fc)

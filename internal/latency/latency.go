@@ -90,8 +90,10 @@ func (m Model) Scaled(scale float64) Model {
 // (client, proxy, applier) owns one Source so delays are deterministic
 // given the seed yet uncorrelated across actors.
 type Source struct {
-	m   Model
-	mu  sync.Mutex
+	m  Model
+	mu sync.Mutex
+	// rng is the seeded jitter stream.
+	// guarded by mu
 	rng *rand.Rand
 }
 

@@ -38,10 +38,13 @@ type LoadBalancer struct {
 	tracker  *core.Tracker
 	registry *core.TableSetRegistry
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// nodes is the routing set.
+	// guarded by mu
 	nodes []Node
 	// rr breaks ties among equally loaded replicas so a idle cluster
 	// still spreads sessions.
+	// guarded by mu
 	rr int
 
 	// Live-observability instruments (nil-safe no-ops until EnableObs).

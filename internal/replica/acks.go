@@ -9,9 +9,15 @@ import "sync"
 // sound — and the drainer's hot path is reduced to a mutex-protected
 // max and a non-blocking wakeup: no goroutine spawn, no allocation.
 type ackBox struct {
-	mu      sync.Mutex
-	max     uint64 // highest version posted
-	sent    uint64 // highest version handed to the notifier
+	mu sync.Mutex
+	// max is the highest version posted.
+	// guarded by mu
+	max uint64
+	// sent is the highest version handed to the notifier.
+	// guarded by mu
+	sent uint64
+	// stopped drops further posts.
+	// guarded by mu
 	stopped bool
 	wake    chan struct{} // 1-buffered wakeup
 }

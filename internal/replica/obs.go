@@ -20,7 +20,9 @@ type obsState struct {
 	earlyAborts   *obs.Counter
 	certConflicts *obs.Counter
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// tableVers tracks Vt per table for the table-version gauges.
+	// guarded by mu
 	tableVers map[string]uint64
 }
 

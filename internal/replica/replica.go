@@ -127,23 +127,36 @@ type Replica struct {
 	cert CertService
 	lat  *latency.Source
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	sub     RefreshSource
+	mu   sync.Mutex
+	cond *sync.Cond
+	// sub is the live certifier subscription.
+	// guarded by mu
+	sub RefreshSource
+	// reorder buffers out-of-order refreshes by version.
+	// guarded by mu
 	reorder map[uint64]certifier.Refresh
 	// applying is the batch the drainer is currently group-applying.
 	// Entries leave the reorder buffer before they reach the engine, so
 	// statement-side early certification must scan this window too or a
 	// write racing the apply would miss a certain conflict.
+	// guarded by mu
 	applying []certifier.Refresh
 	// committing marks versions owned by in-flight local commits so
 	// the applier does not wait for a refresh that will never arrive.
+	// guarded by mu
 	committing map[uint64]bool
-	actives    map[uint64]*Txn
-	crashed    bool
+	// actives indexes in-flight client transactions by id.
+	// guarded by mu
+	actives map[uint64]*Txn
+	// crashed marks the replica detached.
+	// guarded by mu
+	crashed bool
+	// applierGen invalidates stale applier/drainer goroutines.
+	// guarded by mu
 	applierGen int
 	// acks coalesces apply acknowledgments for the notifier goroutine;
 	// replaced on every attach.
+	// guarded by mu
 	acks *ackBox
 	// benchPerWriteset restores the pre-batching hot path (one slot
 	// acquisition, engine commit, ack goroutine, and broadcast per
@@ -153,6 +166,7 @@ type Replica struct {
 	// certifier had assigned when this replica last recovered. Commits
 	// up to it may already be acknowledged to clients, so transactions
 	// — even ESC ones, whose MinVersion is 0 — must not start below it.
+	// guarded by mu
 	minServe uint64
 
 	slots chan struct{}

@@ -118,8 +118,12 @@ type table struct {
 // Engine is a multiversion storage engine instance. All methods are
 // safe for concurrent use.
 type Engine struct {
-	mu      sync.RWMutex
-	tables  map[string]*table
+	mu sync.RWMutex
+	// tables maps table name to its rows and indexes.
+	// guarded by mu
+	tables map[string]*table
+	// version is the latest committed version (Vlocal).
+	// guarded by mu
 	version uint64
 }
 

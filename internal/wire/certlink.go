@@ -68,15 +68,22 @@ type CertServer struct {
 	ln   net.Listener
 	opts options
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// closed refuses new connection tracking.
+	// guarded by mu
 	closed bool
-	conns  map[net.Conn]struct{}
+	// conns is the set of live connections.
+	// guarded by mu
+	conns map[net.Conn]struct{}
 	// streamGen numbers each replica's subscription streams so a
 	// superseded stream (the replica reconnected) never cancels its
 	// successor's subscription.
+	// guarded by mu
 	streamGen map[int]int
 
-	obsReqs *obs.CounterVec // nil-safe until EnableObs
+	// obsReqs is nil-safe until EnableObs.
+	// guarded by mu
+	obsReqs *obs.CounterVec
 }
 
 // EnableObs counts served requests per operation under
@@ -324,9 +331,15 @@ type CertClient struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 
-	mu     sync.Mutex
-	queue  *refreshQueue
-	sub    net.Conn
+	mu sync.Mutex
+	// queue is the current subscription's local refresh queue.
+	// guarded by mu
+	queue *refreshQueue
+	// sub is the live subscription stream connection.
+	// guarded by mu
+	sub net.Conn
+	// subGen numbers subscriptions so stale loops exit.
+	// guarded by mu
 	subGen int
 
 	// Stream health for the replica serve gate.
@@ -342,9 +355,15 @@ type CertClient struct {
 	// refresh on the applier's hot path, so acks are shipped
 	// asynchronously and collapsed to the highest version (the
 	// certifier treats acks as cumulative).
-	ackMu   sync.Mutex
-	ackMax  uint64
+	ackMu sync.Mutex
+	// ackMax is the highest version posted for acknowledgment.
+	// guarded by ackMu
+	ackMax uint64
+	// ackSent is the highest version shipped to the certifier.
+	// guarded by ackMu
 	ackSent uint64
+	// ackBusy marks a running ackLoop goroutine.
+	// guarded by ackMu
 	ackBusy bool
 }
 

@@ -63,10 +63,16 @@ type Gateway struct {
 	stop     chan struct{}
 	opts     options
 
-	mu       sync.Mutex
-	closed   bool
-	conns    map[net.Conn]struct{}
-	obsReqs  *obs.CounterVec // nil-safe until EnableObs
+	mu sync.Mutex
+	// closed refuses new connections.
+	// guarded by mu
+	closed bool
+	// conns is the set of live client connections.
+	// guarded by mu
+	conns map[net.Conn]struct{}
+	// obsReqs is nil-safe until EnableObs.
+	// guarded by mu
+	obsReqs  *obs.CounterVec
 	sessions atomic.Int64
 }
 

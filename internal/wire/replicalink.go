@@ -110,13 +110,25 @@ type ReplicaServer struct {
 	ln   net.Listener
 	opts options
 
-	mu      sync.Mutex
-	closed  bool
-	conns   map[net.Conn]struct{}
-	txns    map[uint64]*replica.Txn
-	next    uint64
-	stmts   map[string]*sql.Prepared
-	obsReqs *obs.CounterVec // nil-safe until EnableObs
+	mu sync.Mutex
+	// closed refuses new connections.
+	// guarded by mu
+	closed bool
+	// conns is the set of live connections.
+	// guarded by mu
+	conns map[net.Conn]struct{}
+	// txns maps wire txn IDs to open transactions.
+	// guarded by mu
+	txns map[uint64]*replica.Txn
+	// next is the last issued wire txn ID.
+	// guarded by mu
+	next uint64
+	// stmts caches parses by statement text.
+	// guarded by mu
+	stmts map[string]*sql.Prepared
+	// obsReqs is nil-safe until EnableObs.
+	// guarded by mu
+	obsReqs *obs.CounterVec
 }
 
 // EnableObs counts served requests per operation under

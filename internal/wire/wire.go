@@ -46,6 +46,8 @@ type connPool struct {
 	dial Dialer
 	to   Timeouts
 	mu   sync.Mutex
+	// free is the idle-connection list.
+	// guarded by mu
 	free []*rpcConn
 	// hello is sent once on every new connection to select the peer's
 	// handler. A func() any is invoked per connection, for hellos that
@@ -179,9 +181,13 @@ func (p *connPool) close() {
 
 // refreshQueue implements replica.RefreshSource over a push stream.
 type refreshQueue struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// items is the received-but-untaken refresh backlog.
+	// guarded by mu
 	items  []certifier.Refresh
 	notify chan struct{}
+	// closed drops further pushes.
+	// guarded by mu
 	closed bool
 }
 

@@ -1,0 +1,118 @@
+package tpcw
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"sconrep/internal/cluster"
+	"sconrep/internal/core"
+	"sconrep/internal/storage"
+)
+
+// TestDeclaredTableSetsCoverRuntime is the dynamic oracle behind
+// sconrep-vet's static tableset analyzer: it runs every TPC-W
+// interaction against a live cluster and asserts that the tables each
+// transaction actually touched at runtime (reads and writes, observed
+// at commit) are a subset of the table-set declared in TxnNames. An
+// under-declared table-set is an FSC staleness hole — the load
+// balancer would route a fine-grained transaction without waiting for
+// that table's version — so this test is the ground-truth check that
+// the static declarations the balancer routes on are sound.
+func TestDeclaredTableSetsCoverRuntime(t *testing.T) {
+	s := smallScale()
+	c, err := cluster.New(cluster.Config{Replicas: 1, Mode: core.Fine, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.LoadData(func(e *storage.Engine) error { return Load(e, s) }); err != nil {
+		t.Fatal(err)
+	}
+	RegisterAll(c)
+
+	declared := make(map[string]map[string]bool, len(TxnNames))
+	for name, stmts := range TxnNames {
+		set := make(map[string]bool)
+		for _, p := range stmts {
+			for _, tab := range p.TableSet {
+				set[tab] = true
+			}
+		}
+		declared[name] = set
+	}
+
+	var mu sync.Mutex
+	observed := make(map[string]map[string]bool)
+	c.ObserveCommits(func(txnName string, readTables, writtenTables []string) {
+		mu.Lock()
+		defer mu.Unlock()
+		set := observed[txnName]
+		if set == nil {
+			set = make(map[string]bool)
+			observed[txnName] = set
+		}
+		for _, tab := range readTables {
+			set[tab] = true
+		}
+		for _, tab := range writtenTables {
+			set[tab] = true
+		}
+	})
+
+	sess := c.NewSession()
+	defer sess.Close()
+	x := NewCtx(s, 0, 42)
+
+	interactions := []struct {
+		name string
+		run  func(*cluster.Session, *Ctx) error
+	}{
+		{"tpcw.home", Home},
+		{"tpcw.newProducts", NewProducts},
+		{"tpcw.bestSellers", BestSellers},
+		{"tpcw.productDetail", ProductDetail},
+		{"tpcw.searchAuthor", SearchAuthor},
+		{"tpcw.searchTitle", SearchTitle},
+		{"tpcw.searchSubject", SearchSubject},
+		{"tpcw.orderDisplay", OrderDisplay},
+		{"tpcw.shoppingCart", ShoppingCart},
+		{"tpcw.register", Register},
+		{"tpcw.buyConfirm", BuyConfirm},
+		{"tpcw.adminConfirm", AdminConfirm},
+	}
+	// Several rounds so data-dependent branches (existing cart lines,
+	// order history, restock) all execute at least once.
+	for round := 0; round < 3; round++ {
+		for _, it := range interactions {
+			if err := it.run(sess, x); err != nil {
+				t.Fatalf("round %d %s: %v", round, it.name, err)
+			}
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, it := range interactions {
+		got, ok := observed[it.name]
+		if !ok {
+			t.Errorf("%s: no commit observed", it.name)
+			continue
+		}
+		want := declared[it.name]
+		if want == nil {
+			t.Errorf("%s: not declared in TxnNames", it.name)
+			continue
+		}
+		var extra []string
+		for tab := range got {
+			if !want[tab] {
+				extra = append(extra, tab)
+			}
+		}
+		if len(extra) > 0 {
+			sort.Strings(extra)
+			t.Errorf("%s: runtime touched undeclared tables %v (FSC staleness hole: fine-grained routing would not wait for them)", it.name, extra)
+		}
+	}
+}
