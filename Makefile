@@ -70,7 +70,7 @@ bench:
 # (committed, so before/after numbers travel with the code). Override
 # BENCHTIME for quicker smoke runs (CI uses 100ms).
 BENCHTIME ?= 1s
-HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkHistoryLookup|BenchmarkWireRefreshStream
+HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkHistoryLookup|BenchmarkWireRefreshStream|BenchmarkTraceOverhead
 bench-hotpath:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem -benchtime $(BENCHTIME) \
 		./internal/replica/ ./internal/certifier/ ./internal/wire/ \

@@ -31,6 +31,20 @@ import (
 )
 
 func main() {
+	// Subcommands ride in front of the interactive shell's flags:
+	//
+	//	sconrep-cli trace <trace-id> -nodes host:port,...   stitch a distributed trace
+	//	sconrep-cli demo [-replicas N]                      end-to-end tracing demo
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "demo":
+			runDemo(os.Args[2:])
+			return
+		}
+	}
 	replicas := flag.Int("replicas", 3, "replica count")
 	modeFlag := flag.String("mode", "FSC", "consistency mode: ESC, CSC, FSC, SC")
 	lan := flag.Bool("lan", false, "simulate LAN latencies")

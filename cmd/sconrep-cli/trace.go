@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"sconrep/internal/cluster"
+	"sconrep/internal/core"
+	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
+	"sconrep/internal/storage"
+	"sconrep/internal/workload/tpcw"
+)
+
+// runTrace implements `sconrep-cli trace <trace-id> -nodes a,b,c`: it
+// fetches the trace's spans from every node's /trace/{id} endpoint,
+// merges them (BuildForest dedups by span ID), and prints the stitched
+// causal tree.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	nodes := fs.String("nodes", "", "comma-separated observability endpoints (host:port) to fetch spans from")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sconrep-cli trace <trace-id> -nodes host:port[,host:port...]")
+		fs.PrintDefaults()
+	}
+	// Accept the id before or after the flags (stdlib flag parsing
+	// stops at the first positional argument, so re-parse the rest).
+	fs.Parse(args)
+	rest := fs.Args()
+	var idArg string
+	if len(rest) > 0 {
+		idArg = rest[0]
+		fs.Parse(rest[1:])
+		rest = fs.Args()
+	}
+	if idArg == "" || len(rest) > 0 || *nodes == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	id, err := dtrace.ParseTraceID(idArg)
+	if err != nil {
+		log.Fatalf("bad trace id %q: %v", rest[0], err)
+	}
+	spans := fetchSpans(strings.Split(*nodes, ","), id)
+	if len(spans) == 0 {
+		log.Fatalf("no spans found for trace %s on any node", id)
+	}
+	printForest(os.Stdout, spans)
+}
+
+// fetchSpans collects a trace's spans from each node, tolerating
+// unreachable nodes (a crashed replica should not hide the rest of the
+// tree).
+func fetchSpans(nodes []string, id dtrace.TraceID) []dtrace.Span {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var all []dtrace.Span
+	for _, n := range nodes {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + n + "/trace/" + id.String())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warn: %s: %v\n", n, err)
+			continue
+		}
+		var body struct {
+			Spans []dtrace.Span `json:"spans"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warn: %s: decode: %v\n", n, err)
+			continue
+		}
+		all = append(all, body.Spans...)
+	}
+	return all
+}
+
+// printForest renders the stitched span tree(s) with durations and the
+// annotations that matter for the consistency story.
+func printForest(w *os.File, spans []dtrace.Span) {
+	forest := dtrace.BuildForest(spans)
+	for _, root := range forest {
+		printNode(w, root, "", true, true)
+	}
+	if orphans := dtrace.Orphans(spans); len(orphans) > 0 {
+		fmt.Fprintf(w, "warn: %d orphan span(s) whose parent was not fetched\n", len(orphans))
+	}
+}
+
+func printNode(w *os.File, n *dtrace.TreeNode, prefix string, isRoot, last bool) {
+	connector := ""
+	childPrefix := prefix
+	if !isRoot {
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		} else {
+			connector = "├─ "
+			childPrefix = prefix + "│  "
+		}
+	}
+	sp := n.Span
+	attrs := make([]string, 0, len(sp.Attrs))
+	for k, v := range sp.Attrs {
+		attrs = append(attrs, k+"="+v)
+	}
+	sort.Strings(attrs)
+	line := fmt.Sprintf("%s%s%s (%s) %s", prefix, connector, sp.Name, sp.Node,
+		sp.Duration().Round(time.Microsecond))
+	if len(attrs) > 0 {
+		line += " " + strings.Join(attrs, " ")
+	}
+	if len(sp.Links) > 0 {
+		line += fmt.Sprintf(" links=%d", len(sp.Links))
+	}
+	fmt.Fprintln(w, line)
+	for i, c := range n.Children {
+		printNode(w, c, childPrefix, false, i == len(n.Children)-1)
+	}
+}
+
+// runDemo implements `sconrep-cli demo`: it stands up a networked
+// three-replica FSC cluster with tracing on, serves each node's span
+// collector on its own observability endpoint, runs one TPC-W
+// buyConfirm, and stitches the resulting trace back together over HTTP
+// — the full distributed-tracing loop in one command.
+func runDemo(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	replicas := fs.Int("replicas", 3, "replica count")
+	hold := fs.Duration("hold", 0, "keep the cluster and its observability endpoints up this long after printing the trace (for external scraping)")
+	fs.Parse(args)
+
+	c, err := cluster.NewNetworked(cluster.Config{
+		Replicas: *replicas,
+		Mode:     core.Fine,
+		Seed:     1,
+	}, cluster.NetConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	colls := c.EnableDTrace(4096)
+	reg := obs.NewRegistry()
+	c.EnableObs(reg, nil)
+
+	// One observability server per logical node, exactly as a
+	// multi-process deployment would run them.
+	names := make([]string, 0, len(colls))
+	for name := range colls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var nodeAddrs []string
+	for _, name := range names {
+		srv, err := obs.Serve("127.0.0.1:0", obs.Options{Registry: reg, Spans: colls[name]})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		nodeAddrs = append(nodeAddrs, srv.Addr())
+		fmt.Printf("node %-10s observability on http://%s\n", name, srv.Addr())
+	}
+
+	scale := tpcw.Scale{Items: 100, Customers: 100, Seed: 7}
+	if err := c.LoadData(func(e *storage.Engine) error { return tpcw.Load(e, scale) }); err != nil {
+		log.Fatal(err)
+	}
+	tpcw.RegisterAll(c)
+
+	s := c.NewSession()
+	defer s.Close()
+	x := tpcw.NewCtx(scale, 0, 42)
+	if err := tpcw.BuyConfirm(s, x); err != nil {
+		log.Fatal(err)
+	}
+	// Let the refresh fan-out land on every replica so the remote
+	// refresh.apply spans are collected too.
+	time.Sleep(300 * time.Millisecond)
+
+	id, ok := latestCommitTrace(colls["client"], "tpcw.buyConfirm")
+	if !ok {
+		log.Fatal("demo: no committed buyConfirm trace recorded")
+	}
+	fmt.Printf("\ntrace %s (reproduce with: sconrep-cli trace %s -nodes %s)\n\n",
+		id, id, strings.Join(nodeAddrs, ","))
+	spans := fetchSpans(nodeAddrs, id)
+	printForest(os.Stdout, spans)
+	if *hold > 0 {
+		fmt.Printf("\nholding endpoints for %s\n", *hold)
+		time.Sleep(*hold)
+	}
+}
+
+// latestCommitTrace finds the newest committed client.txn root span for
+// the named transaction in the client's collector.
+func latestCommitTrace(coll *dtrace.Collector, txnName string) (dtrace.TraceID, bool) {
+	var id dtrace.TraceID
+	var at time.Time
+	found := false
+	for _, sp := range coll.Recent(0) {
+		if sp.Name != "client.txn" || sp.Attrs["txn"] != txnName || sp.Attrs["outcome"] != "commit" {
+			continue
+		}
+		if !found || sp.Start.After(at) {
+			id, at, found = sp.Trace, sp.Start, true
+		}
+	}
+	return id, found
+}

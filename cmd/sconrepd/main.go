@@ -28,6 +28,7 @@ import (
 	"sconrep/internal/certifier"
 	"sconrep/internal/core"
 	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
@@ -48,7 +49,7 @@ func main() {
 	session := flag.String("session", "cli", "session id (client role)")
 	eager := flag.Bool("eager", false, "enable eager global-commit tracking (certifier role; required when the gateway runs -mode ESC)")
 	obsAddr := flag.String("obs", "", "observability listen address (server roles): serves /metrics, /healthz, /traces, /debug/pprof")
-	obsMaxLag := flag.Uint64("obs-maxlag", 100, "replica /healthz reports unready when certifier version - Vlocal exceeds this")
+	obsMaxLag := flag.Uint64("obs-maxlag", 100, "replica /healthz reports unready when the worst per-table lag (certifier table version - applied table version) exceeds this")
 	callTimeout := flag.Duration("call-timeout", 15*time.Second, "deadline for one request/response exchange; must exceed -sub-lease or eager commits can time out while the certifier waits for a leased replica (0 = none)")
 	longPollTimeout := flag.Duration("long-poll-timeout", 30*time.Second, "deadline for deliberately long-blocking calls such as the eager global-commit wait (0 = none)")
 	streamIdle := flag.Duration("stream-idle", 5*time.Second, "server-side idle teardown and refresh-stream partition detector (0 = none)")
@@ -131,8 +132,11 @@ func serveCertifier(cert *certifier.Certifier, listen, obsAddr string, wireOpts 
 		reg := obs.NewRegistry()
 		cert.EnableObs(reg)
 		srv.EnableObs(reg)
+		coll := dtrace.NewCollector(4096)
+		cert.EnableTracing(dtrace.New("certifier", coll))
 		serveObs(obsAddr, "certifier", obs.Options{
 			Registry: reg,
+			Spans:    coll,
 			Health: func() obs.Health {
 				return obs.Health{Ready: true, Role: "certifier", Detail: map[string]any{
 					"version":  cert.Version(),
@@ -178,28 +182,49 @@ func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxL
 		tr := obs.NewTraceRecorder(512)
 		rep.EnableObs(reg, tr)
 		srv.EnableObs(reg)
+		coll := dtrace.NewCollector(4096)
+		rep.EnableTracing(dtrace.New(fmt.Sprintf("replica-%d", id), coll))
 		serveObs(obsAddr, "replica", obs.Options{
 			Registry: reg,
 			Traces:   tr,
-			// Readiness is replication lag: how far Vlocal trails the
-			// certifier's latest assigned version. A crashed replica or
-			// one lagging more than maxLag versions is unready.
+			Spans:    coll,
+			// Readiness is replication lag, measured per table: the
+			// certifier's last committed version for each table against
+			// this replica's applied version of it. The worst table
+			// governs — a scalar version delta over-reports lag when the
+			// missing versions only touch tables this replica already has
+			// current (e.g. after a refresh batch applied out of a larger
+			// backlog). A crashed replica or one whose worst table lags
+			// more than maxLag versions is unready.
 			Health: func() obs.Health {
 				vlocal := rep.Version()
 				serving := cc.Ready(streamGrace)
 				detail := map[string]any{"replica": id, "vlocal": vlocal, "crashed": rep.Crashed(), "serving": serving}
 				ready := !rep.Crashed() && serving
-				if cv, err := cc.Version(); err != nil {
+				if certTV, err := cc.TableVersions(); err != nil {
 					detail["certifier_error"] = err.Error()
 					ready = false
 				} else {
-					lag := int64(0)
-					if cv > vlocal {
-						lag = int64(cv - vlocal)
+					names := make([]string, 0, len(certTV))
+					for t := range certTV {
+						names = append(names, t)
 					}
-					detail["certifier_version"] = cv
-					detail["lag"] = lag
-					if lag > int64(maxLag) {
+					engTV := eng.TableVersionsAt(names, vlocal)
+					lags := make(map[string]uint64, len(certTV))
+					var maxTableLag uint64
+					for t, cv := range certTV {
+						var lag uint64
+						if lv := engTV[t]; cv > lv {
+							lag = cv - lv
+						}
+						lags[t] = lag
+						if lag > maxTableLag {
+							maxTableLag = lag
+						}
+					}
+					detail["table_lag"] = lags
+					detail["lag"] = maxTableLag
+					if maxTableLag > maxLag {
 						ready = false
 					}
 				}
@@ -250,8 +275,11 @@ func runGateway(listen, modeFlag, replicasFlag, obsAddr string, wireOpts []wire.
 	if obsAddr != "" {
 		reg := obs.NewRegistry()
 		gw.EnableObs(reg)
+		coll := dtrace.NewCollector(4096)
+		gw.Balancer().EnableTracing(dtrace.New("gateway", coll))
 		serveObs(obsAddr, "gateway", obs.Options{
 			Registry: reg,
+			Spans:    coll,
 			// The gateway is ready while it has at least one live
 			// replica to route to.
 			Health: func() obs.Health {

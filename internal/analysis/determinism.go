@@ -37,6 +37,9 @@ const DeterminismOrderTag = "det:order-insensitive"
 //   - map iteration: range order differs run to run. Sort the keys,
 //     or annotate the statement with "det:order-insensitive" when the
 //     loop's effect provably commutes.
+//   - dtrace.New without dtrace.WithClock: the tracer's default clock
+//     is time.Now, so every span start/end would smuggle wall-clock
+//     reads into the seeded run. Inject the component's model clock.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "seeded chaos/latency/workload packages must stay replayable from SCONREP_CHAOS_SEED",
@@ -116,7 +119,39 @@ func checkDetCall(pass *Pass, call *ast.CallExpr) {
 		pass.Reportf(call.Pos(), Error,
 			"rand.%s draws from the process-global source, which any goroutine can perturb: use the component's seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
 			sel.Sel.Name)
+	case dtracePath:
+		if sel.Sel.Name != "New" {
+			return
+		}
+		for _, arg := range call.Args {
+			if opt, ok := arg.(*ast.CallExpr); ok && isDtraceWithClock(pass, opt) {
+				return
+			}
+		}
+		pass.Reportf(call.Pos(), Error,
+			"dtrace.New without dtrace.WithClock in a seeded package: span timestamps default to time.Now, outside SCONREP_CHAOS_SEED's control; inject the component's model clock via dtrace.WithClock")
 	}
+}
+
+// dtracePath is the tracing package whose default clock is the wall
+// clock; seeded packages must override it at construction.
+const dtracePath = "sconrep/internal/obs/dtrace"
+
+// isDtraceWithClock reports whether call is dtrace.WithClock(...).
+func isDtraceWithClock(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return pn.Imported().Path() == dtracePath && sel.Sel.Name == "WithClock"
 }
 
 func seededPackage(path string) bool {

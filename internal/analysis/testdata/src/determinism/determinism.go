@@ -1,13 +1,16 @@
 // Fixture for the determinism analyzer: wall-clock reads, global
-// math/rand draws, and unannotated map iteration are replay-breakers;
-// seeded generators, time.Sleep, and annotated or slice iteration are
-// fine. The test registers this package as seeded.
+// math/rand draws, unannotated map iteration, and tracers built on
+// the default wall clock are replay-breakers; seeded generators,
+// time.Sleep, injected-clock tracers, and annotated or slice
+// iteration are fine. The test registers this package as seeded.
 package determinism
 
 import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"sconrep/internal/obs/dtrace"
 )
 
 func clock() int64 {
@@ -56,4 +59,12 @@ func total(xs []int) int {
 		t += x
 	}
 	return t
+}
+
+func wallClockTracer(coll *dtrace.Collector) *dtrace.Tracer {
+	return dtrace.New("node", coll) // want `dtrace.New without dtrace.WithClock in a seeded package`
+}
+
+func modelClockTracer(coll *dtrace.Collector, now func() time.Time) *dtrace.Tracer {
+	return dtrace.New("node", coll, dtrace.WithClock(now)) // ok: injected clock
 }

@@ -15,9 +15,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"sconrep/internal/latency"
 	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/wal"
 	"sconrep/internal/writeset"
 )
@@ -28,7 +30,12 @@ type Refresh struct {
 	TxnID   uint64
 	Version uint64
 	Origin  int // originating replica ID (-1 for recovery replays)
-	WS      *writeset.WriteSet
+	// WS also carries the certifying span's context (WriteSet.Trace)
+	// when tracing is enabled: trace baggage rides the shared writeset
+	// clone so this envelope — copied by value through mailbox rings,
+	// reorder buffers, and group-apply batches — stays exactly as small
+	// as before tracing.
+	WS *writeset.WriteSet
 }
 
 // Decision is the certifier's answer for one update transaction.
@@ -110,10 +117,19 @@ type Certifier struct {
 	// guarded by mu
 	memoOrder []memoKey
 
+	// tableVers is the latest commit version that wrote each table —
+	// the certifier side of the per-table replication-lag gauges.
+	// guarded by mu
+	tableVers map[string]uint64
+
 	// Live-observability counters (nil-safe no-ops until EnableObs).
 	obsCommits *obs.Counter
 	obsAborts  *obs.Counter
 	obsTooOld  *obs.Counter
+
+	// tracer mints certification spans; nil (one atomic load) until
+	// EnableTracing.
+	tracer atomic.Pointer[dtrace.Tracer]
 }
 
 // Option configures a Certifier.
@@ -132,10 +148,11 @@ func WithEager() Option { return func(c *Certifier) { c.eager = true } }
 // New returns a certifier at version 0.
 func New(opts ...Option) *Certifier {
 	c := &Certifier{
-		index: writeset.NewIndex(),
-		subs:  make(map[int]*mailbox),
-		waits: make(map[uint64]*eagerWait),
-		memo:  make(map[memoKey]memoEntry),
+		index:     writeset.NewIndex(),
+		subs:      make(map[int]*mailbox),
+		waits:     make(map[uint64]*eagerWait),
+		memo:      make(map[memoKey]memoEntry),
+		tableVers: make(map[string]uint64),
 	}
 	for _, o := range opts {
 		o(c)
@@ -301,15 +318,45 @@ func (c *Certifier) EnableObs(reg *obs.Registry) {
 		})
 }
 
+// EnableTracing attaches the distributed tracer; certifications then
+// record certifier.certify spans (with the group-log append as a child
+// span) parented under the caller's wire-propagated context. Call
+// before traffic.
+func (c *Certifier) EnableTracing(tr *dtrace.Tracer) { c.tracer.Store(tr) }
+
+// TableVersions returns the latest commit version that wrote each
+// table — the authoritative side of per-table replication lag. Tables
+// never written do not appear.
+func (c *Certifier) TableVersions() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.tableVers))
+	for t, v := range c.tableVers {
+		out[t] = v
+	}
+	return out
+}
+
 // Certify decides one update transaction: it commits iff its writeset
 // does not conflict with any writeset committed after the
 // transaction's snapshot (the GSI first-committer-wins test, §IV).
 // On commit the decision is logged, the conflict index updated, and
 // the refresh fanned out to every replica except the origin.
 func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (Decision, error) {
+	return c.CertifyCtx(origin, txnID, snapshot, ws, dtrace.SpanContext{})
+}
+
+// CertifyCtx is Certify with the caller's span context: the decision
+// is recorded as a certifier.certify span parented under sc, and the
+// fanned-out refreshes carry the certify span so remote applies join
+// the same trace.
+func (c *Certifier) CertifyCtx(origin int, txnID, snapshot uint64, ws *writeset.WriteSet, sc dtrace.SpanContext) (Decision, error) {
 	if ws.Empty() {
 		return Decision{}, fmt.Errorf("certifier: empty writeset for txn %d (read-only transactions commit locally)", txnID)
 	}
+	span := c.tracer.Load().StartSpan("certifier.certify", sc)
+	defer span.End()
+	span.SetAttr("origin", strconv.Itoa(origin))
 	c.mu.Lock()
 	// Retried request (the response was lost in transit): return the
 	// original commit decision instead of assigning a second version.
@@ -317,23 +364,33 @@ func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.Wri
 	// re-aborts it, since the conflict index only grows.
 	if m, ok := c.memo[memoKey{origin, txnID}]; ok && m.snapshot == snapshot {
 		c.mu.Unlock()
+		span.SetAttr("decision", "memoized")
 		return m.dec, nil
 	}
 	if snapshot < c.floor {
 		c.obsTooOld.Inc()
 		c.mu.Unlock()
+		span.SetAttr("decision", "snapshot_too_old")
 		return Decision{}, ErrSnapshotTooOld
 	}
 	if c.index.ConflictsAfter(ws, snapshot) {
 		c.obsAborts.Inc()
 		c.mu.Unlock()
+		span.SetAttr("decision", "conflict")
 		return Decision{Commit: false}, nil
 	}
 	c.obsCommits.Inc()
 	c.version++
 	v := c.version
 	cp := ws.Clone()
+	if span != nil {
+		sc := span.Context()
+		cp.Trace = &sc
+	}
 	c.index.Add(cp, v)
+	for _, t := range cp.Tables() {
+		c.tableVers[t] = v
+	}
 	c.history = append(c.history, historyEntry{txnID: txnID, version: v, origin: origin, ws: cp})
 	k := memoKey{origin, txnID}
 	c.memo[k] = memoEntry{snapshot: snapshot, dec: Decision{Commit: true, Version: v}}
@@ -357,16 +414,23 @@ func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.Wri
 	}
 	c.mu.Unlock()
 
+	span.SetAttr("decision", "commit")
+	span.SetAttr("version", strconv.FormatUint(v, 10))
+
 	// Durability before propagation, via group commit: records reach
 	// the log in strict version order, with one forced write amortized
 	// over each contiguous batch of concurrent committers.
-	if err := c.glog.commit(v, &wal.Record{Version: v, TxnID: txnID, WriteSet: *cp}); err != nil {
+	logSpan := c.tracer.Load().StartSpan("certifier.log_append", span.Context())
+	err := c.glog.commit(v, &wal.Record{Version: v, TxnID: txnID, WriteSet: *cp})
+	logSpan.End()
+	if err != nil {
 		return Decision{}, fmt.Errorf("certifier: durability: %w", err)
 	}
 
-	// Fan out the refresh writeset. Mailbox arrival order is not
-	// guaranteed to be version order across concurrent commits; the
-	// replica applier reorders by version.
+	// Fan out the refresh writeset, each refresh carrying the certify
+	// span so remote applies parent under this certification. Mailbox
+	// arrival order is not guaranteed to be version order across
+	// concurrent commits; the replica applier reorders by version.
 	c.mu.Lock()
 	for id, mb := range c.subs {
 		if id == origin {
@@ -488,6 +552,9 @@ func (c *Certifier) RestoreFromWAL(records func(fn func(*wal.Record) error) erro
 		c.version = r.Version
 		ws := r.WriteSet.Clone()
 		c.index.Add(ws, r.Version)
+		for _, t := range ws.Tables() {
+			c.tableVers[t] = r.Version
+		}
 		c.history = append(c.history, historyEntry{txnID: r.TxnID, version: r.Version, origin: -1, ws: ws})
 		return nil
 	})

@@ -13,6 +13,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"sconrep/internal/lb"
 	"sconrep/internal/metrics"
 	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
@@ -70,6 +72,11 @@ type Cluster struct {
 	// wire clients against a real TCP gateway instead of calling the
 	// balancer in process.
 	net *netCluster
+	// tracer mints client.txn root spans; nil until EnableDTrace (set
+	// before traffic, so plain field access suffices).
+	tracer *dtrace.Tracer
+	// spanColls holds the per-component span collectors by node name.
+	spanColls map[string]*dtrace.Collector
 }
 
 // newCore builds the pieces shared by the in-process and networked
@@ -145,6 +152,24 @@ func (c *Cluster) LoadData(load func(e *storage.Engine) error) error {
 	return nil
 }
 
+// ExecSchemaAll applies a DDL statement (CREATE TABLE / CREATE INDEX)
+// to every replica's engine. Schema changes are not replicated through
+// the commit protocol and bump no versions; this is the cluster-level
+// twin of sconrep.DB.ExecSchema, used by the staleness probe to roll
+// out its sentinel table.
+func (c *Cluster) ExecSchemaAll(q string) error {
+	for i, r := range c.replicas {
+		e := r.Engine()
+		tx := e.Begin()
+		_, err := sql.Exec(tx, e, q)
+		tx.Abort() // DDL is engine-level; nothing to commit
+		if err != nil {
+			return fmt.Errorf("cluster: schema on replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // RegisterTxn records the combined static table-set of a named
 // transaction's prepared statements — the workload information the
 // fine-grained mode exploits.
@@ -172,10 +197,76 @@ func (c *Cluster) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
 		return
 	}
 	c.cert.EnableObs(reg)
-	for _, r := range c.replicas {
+	mode := c.cfg.Mode.String()
+	readDelay := reg.Histogram("sconrep_read_start_delay_seconds",
+		"Delay between a transaction's arrival at its replica and its first possible read: the synchronization wait the consistency mode imposes, split by mode.",
+		nil, "mode", mode)
+	for i, r := range c.replicas {
 		r.EnableObs(reg, tr)
+		r.OnReadStartDelay(func(d time.Duration) { readDelay.Observe(d) })
+		eng := r.Engine()
+		reg.GaugeVecFunc("sconrep_replica_table_lag",
+			"Replication lag per table: the certifier's last committed version for the table minus this replica's applied version of it.",
+			"table", func() map[string]float64 {
+				certTV := c.cert.TableVersions()
+				names := make([]string, 0, len(certTV))
+				for t := range certTV {
+					names = append(names, t)
+				}
+				engTV := eng.TableVersionsAt(names, eng.Version())
+				out := make(map[string]float64, len(certTV))
+				for t, cv := range certTV {
+					if lv := engTV[t]; cv > lv {
+						out[t] = float64(cv - lv)
+					} else {
+						out[t] = 0
+					}
+				}
+				return out
+			}, "replica", strconv.Itoa(i))
 	}
 	c.balancer.EnableObs(reg)
+}
+
+// EnableDTrace attaches a distributed tracer to every component: each
+// session transaction mints a client.txn root span whose context rides
+// the begin path through the load balancer (lb.route), the chosen
+// replica (replica.txn and children), the certifier (certifier.certify,
+// certifier.log_append), and the refresh fan-out (refresh.apply on
+// every replica), so one transaction assembles into one causal span
+// tree. Each logical node records into its own Collector ring of the
+// given capacity — returned keyed "client", "gateway", "certifier",
+// "replica-0"… — mirroring the per-process collectors of a
+// multi-process deployment; serve them via obs.Options.Spans and
+// stitch with sconrep-cli trace. Call after New, before traffic.
+func (c *Cluster) EnableDTrace(capacity int) map[string]*dtrace.Collector {
+	c.spanColls = make(map[string]*dtrace.Collector)
+	mk := func(node string) *dtrace.Tracer {
+		coll := dtrace.NewCollector(capacity)
+		c.spanColls[node] = coll
+		return dtrace.New(node, coll)
+	}
+	c.tracer = mk("client")
+	c.balancer.EnableTracing(mk("gateway"))
+	c.cert.EnableTracing(mk("certifier"))
+	for i, r := range c.replicas {
+		r.EnableTracing(mk(fmt.Sprintf("replica-%d", i)))
+	}
+	return c.spanColls
+}
+
+// SpanCollectors returns the per-node span collectors (nil before
+// EnableDTrace).
+func (c *Cluster) SpanCollectors() map[string]*dtrace.Collector { return c.spanColls }
+
+// clientSpan mints the client.txn root span for one transaction; nil
+// (a no-op span) when tracing is off.
+func (c *Cluster) clientSpan(txnName string) *dtrace.ActiveSpan {
+	sp := c.tracer.StartRoot("client.txn")
+	if txnName != "" {
+		sp.SetAttr("txn", txnName)
+	}
+	return sp
 }
 
 // ObserveCommits installs fn as the cluster's commit observer: it is
@@ -342,80 +433,116 @@ type Tx struct {
 	wc     *wire.Client
 	snap   uint64
 	sessID string
+
+	// span is the client.txn root span (nil when tracing is off).
+	span *dtrace.ActiveSpan
+}
+
+// Trace returns the transaction's trace ID (zero when tracing is off).
+func (t *Tx) Trace() dtrace.TraceID { return t.span.Context().Trace }
+
+// endSpan closes the root span with its outcome; End is idempotent, so
+// the first terminal event wins.
+func (t *Tx) endSpan(outcome string, version uint64, err error) {
+	if t.span == nil {
+		return
+	}
+	t.span.SetAttr("outcome", outcome)
+	if version != 0 {
+		t.span.SetAttr("version", strconv.FormatUint(version, 10))
+	}
+	if err != nil {
+		t.span.SetAttr("error", err.Error())
+	}
+	t.span.End()
 }
 
 // Begin dispatches a transaction named txnName (the identifier the
 // fine-grained mode resolves to a table-set; any string — including
 // "" — works under the other modes).
 func (s *Session) Begin(txnName string) (*Tx, error) {
+	span := s.c.clientSpan(txnName)
 	if s.c.net != nil {
-		return s.netBegin(txnName, nil)
+		return s.netBegin(txnName, nil, span)
 	}
 	submit := time.Now()
 	// Client → LB → replica.
 	s.lat.NetworkHop()
-	route, err := s.c.balancer.Dispatch(s.id, txnName)
+	route, err := s.c.balancer.DispatchCtx(s.id, txnName, span.Context())
 	if err != nil {
+		span.SetAttr("outcome", "error")
+		span.End()
 		return nil, err
 	}
 	s.lat.NetworkHop()
 	timer := metrics.NewTxnTimer()
-	rtx, err := route.Node.(*replica.Replica).Begin(route.MinVersion, timer)
+	rtx, err := route.Node.(*replica.Replica).BeginCtx(route.MinVersion, timer, span.Context())
 	if err != nil {
+		span.SetAttr("outcome", "error")
+		span.End()
 		return nil, err
 	}
-	return &Tx{s: s, rtx: rtx, timer: timer, submit: submit, name: txnName}, nil
+	return &Tx{s: s, rtx: rtx, timer: timer, submit: submit, name: txnName, span: span}, nil
 }
 
 // BeginTables dispatches a transaction tagged with an explicit
 // table-set (the paper's footnote-1 alternative to registered
 // transaction names).
 func (s *Session) BeginTables(tables []string) (*Tx, error) {
+	span := s.c.clientSpan("")
 	if s.c.net != nil {
-		return s.netBegin("", tables)
+		return s.netBegin("", tables, span)
 	}
 	submit := time.Now()
 	s.lat.NetworkHop()
 	route, err := s.c.balancer.DispatchTables(s.id, tables)
 	if err != nil {
+		span.SetAttr("outcome", "error")
+		span.End()
 		return nil, err
 	}
 	s.lat.NetworkHop()
 	timer := metrics.NewTxnTimer()
-	rtx, err := route.Node.(*replica.Replica).Begin(route.MinVersion, timer)
+	rtx, err := route.Node.(*replica.Replica).BeginCtx(route.MinVersion, timer, span.Context())
 	if err != nil {
+		span.SetAttr("outcome", "error")
+		span.End()
 		return nil, err
 	}
-	return &Tx{s: s, rtx: rtx, timer: timer, submit: submit}, nil
+	return &Tx{s: s, rtx: rtx, timer: timer, submit: submit, span: span}, nil
 }
 
 // netBegin starts a transaction over the wire. Begin leaves no state
 // behind when its response is lost (the gateway aborts on connection
 // death), so a transport failure is retried once on a fresh
 // connection.
-func (s *Session) netBegin(txnName string, tables []string) (*Tx, error) {
+func (s *Session) netBegin(txnName string, tables []string, span *dtrace.ActiveSpan) (*Tx, error) {
 	submit := time.Now()
 	for attempt := 0; ; attempt++ {
 		wc, err := s.ensureClient()
 		if err != nil {
+			span.SetAttr("outcome", "error")
+			span.End()
 			return nil, err
 		}
 		sessID := s.effectiveID()
 		var snap uint64
 		if len(tables) > 0 {
-			snap, err = wc.BeginTablesTx(tables)
+			snap, err = wc.BeginTablesTxCtx(tables, span.Context())
 		} else {
-			snap, err = wc.BeginTx(txnName)
+			snap, err = wc.BeginTxCtx(txnName, span.Context())
 		}
 		if err != nil {
 			if wc.Broken() && attempt == 0 {
 				continue
 			}
+			span.SetAttr("outcome", "error")
+			span.End()
 			return nil, err
 		}
 		return &Tx{
 			s: s, timer: metrics.NewTxnTimer(), submit: submit, name: txnName,
-			wc: wc, snap: snap, sessID: sessID,
+			wc: wc, snap: snap, sessID: sessID, span: span,
 		}, nil
 	}
 }
@@ -467,6 +594,7 @@ func (t *Tx) failed(err error) {
 	}
 	if terminal && !t.done {
 		t.done = true
+		t.endSpan("error", 0, err)
 		t.s.c.coll.RecordAbort()
 	}
 }
@@ -477,6 +605,7 @@ func (t *Tx) Abort() {
 		return
 	}
 	t.done = true
+	t.endSpan("abort", 0, nil)
 	if t.wc != nil {
 		if !t.wc.Broken() {
 			_ = t.wc.Abort()
@@ -503,6 +632,7 @@ func (t *Tx) Commit() (replica.CommitResult, error) {
 	readTables := t.rtx.Touched()
 	res, err := t.rtx.Commit(t.s.c.cfg.Mode == core.Eager)
 	if err != nil {
+		t.endSpan("error", 0, err)
 		t.s.c.coll.RecordAbort()
 		return res, err
 	}
@@ -511,6 +641,7 @@ func (t *Tx) Commit() (replica.CommitResult, error) {
 	t.s.c.balancer.ObserveCommit(t.s.id, res)
 	t.s.lat.NetworkHop()
 	acked := time.Now()
+	t.endSpan("commit", res.Version, nil)
 
 	t.timer.Stop()
 	syncDelay := t.timer.Stage(metrics.StageVersion)
@@ -545,9 +676,11 @@ func (t *Tx) Commit() (replica.CommitResult, error) {
 func (t *Tx) netCommit() (replica.CommitResult, error) {
 	info, err := t.wc.CommitEx()
 	if err != nil {
+		t.endSpan("error", 0, err)
 		t.s.c.coll.RecordAbort()
 		return replica.CommitResult{}, err
 	}
+	t.endSpan("commit", info.Version, nil)
 	acked := time.Now()
 	t.timer.Stop()
 	t.s.c.coll.RecordCommit(t.timer, !info.ReadOnly, acked.Sub(t.submit), 0)

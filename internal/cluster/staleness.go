@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"sconrep/internal/obs"
+	"sconrep/internal/replica"
+)
+
+// probeTable is the sentinel table the staleness probe writes. The
+// double-underscore prefix keeps it out of any workload's way.
+const probeTable = "__sconrep_probe"
+
+// StalenessProbe measures true end-to-end visibility lag: it
+// periodically commits a sentinel write through the ordinary client
+// path and, for every replica, times how long after the commit
+// acknowledgment the write becomes visible there (Vlocal reaching the
+// probe's commit version). Unlike the version-delta gauges, which
+// compare counters, this observes the full pipeline — certification,
+// group-log fan-out, reorder buffering, and group apply — exactly as a
+// lagging reader would.
+type StalenessProbe struct {
+	c        *Cluster
+	hists    []*obs.Histogram
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartStalenessProbe creates the sentinel table on every replica and
+// starts the probe loop, recording per-replica visibility lag into
+// sconrep_staleness_seconds{replica}. Call after LoadData; Stop ends
+// the loop. The probe's writes ride the normal commit protocol, so
+// they advance versions like any client transaction (one tiny write
+// per interval).
+func (c *Cluster) StartStalenessProbe(reg *obs.Registry, interval time.Duration) (*StalenessProbe, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if err := c.ExecSchemaAll(`CREATE TABLE ` + probeTable + ` (id INT PRIMARY KEY, seq INT)`); err != nil {
+		return nil, err
+	}
+	p := &StalenessProbe{
+		c:        c,
+		hists:    make([]*obs.Histogram, len(c.replicas)),
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := range c.replicas {
+		p.hists[i] = reg.Histogram("sconrep_staleness_seconds",
+			"End-to-end visibility lag: time from a sentinel write's commit acknowledgment until the write is applied on this replica.",
+			nil, "replica", strconv.Itoa(i))
+	}
+	// Seed the single sentinel row so every later probe is an update.
+	s := c.NewSession()
+	tx, err := s.BeginTables([]string{probeTable})
+	if err == nil {
+		_, err = tx.ExecSQL(`INSERT INTO ` + probeTable + ` VALUES (1, 0)`)
+		if err == nil {
+			_, err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+	}
+	s.Close()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: staleness probe bootstrap: %w", err)
+	}
+	go p.run()
+	return p, nil
+}
+
+// Stop ends the probe loop and waits for it to drain.
+func (p *StalenessProbe) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *StalenessProbe) run() {
+	defer close(p.done)
+	s := p.c.NewSession()
+	defer s.Close()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for seq := 1; ; seq++ {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+		}
+		p.probeOnce(s, seq)
+	}
+}
+
+// probeOnce commits one sentinel update and fans out a waiter per
+// replica; each observes the lag from ack to local visibility.
+func (p *StalenessProbe) probeOnce(s *Session, seq int) {
+	tx, err := s.BeginTables([]string{probeTable})
+	if err != nil {
+		return
+	}
+	if _, err := tx.ExecSQL(`UPDATE `+probeTable+` SET seq = ? WHERE id = 1`, seq); err != nil {
+		tx.Abort()
+		return
+	}
+	res, err := tx.Commit()
+	if err != nil {
+		return
+	}
+	acked := time.Now()
+	var wg sync.WaitGroup
+	for i, r := range p.c.replicas {
+		wg.Add(1)
+		go func(h *obs.Histogram, r *replica.Replica) {
+			defer wg.Done()
+			if r.WaitVersion(res.Version) == nil {
+				h.Observe(time.Since(acked))
+			}
+		}(p.hists[i], r)
+	}
+	wg.Wait()
+}

@@ -15,9 +15,11 @@ import (
 	"errors"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"sconrep/internal/core"
 	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/replica"
 )
 
@@ -51,7 +53,15 @@ type LoadBalancer struct {
 	obsRouted   *obs.CounterVec
 	obsNoLive   *obs.Counter
 	obsDegraded *obs.Counter
+
+	// tracer mints lb.route spans; nil until EnableTracing.
+	tracer atomic.Pointer[dtrace.Tracer]
 }
+
+// EnableTracing attaches the distributed tracer: each dispatch then
+// records an lb.route span (replica chosen, start-version tag) under
+// the caller's span context. Call before traffic.
+func (l *LoadBalancer) EnableTracing(tr *dtrace.Tracer) { l.tracer.Store(tr) }
 
 // New returns a balancer over the given replicas.
 func New(mode core.Mode, nodes []Node) *LoadBalancer {
@@ -128,6 +138,11 @@ type Route struct {
 	// MinVersion is the synchronization start bound the replica must
 	// reach before the transaction begins.
 	MinVersion uint64
+	// Trace is the lb.route span's context (zero when lb tracing is
+	// off). A gateway fronting an untraced client can parent the
+	// replica's work under it so the deployment still yields one
+	// stitched, gateway-rooted tree.
+	Trace dtrace.SpanContext
 }
 
 // pick selects the live replica with the fewest active transactions,
@@ -165,6 +180,28 @@ func (l *LoadBalancer) pick() (Node, error) {
 // (synchronize on Vsystem), preserving strong consistency when the
 // workload information is missing — the degradation §V-D describes.
 func (l *LoadBalancer) Dispatch(sessionID, txnName string) (Route, error) {
+	return l.DispatchCtx(sessionID, txnName, dtrace.SpanContext{})
+}
+
+// DispatchCtx is Dispatch under the caller's span context: the routing
+// decision is recorded as an lb.route span annotated with the chosen
+// replica and the start-version tag.
+func (l *LoadBalancer) DispatchCtx(sessionID, txnName string, sc dtrace.SpanContext) (Route, error) {
+	span := l.tracer.Load().StartSpan("lb.route", sc)
+	route, err := l.dispatch(sessionID, txnName)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
+		return Route{}, err
+	}
+	span.SetAttr("replica", strconv.Itoa(route.Node.ID()))
+	span.SetAttr("min_version", strconv.FormatUint(route.MinVersion, 10))
+	route.Trace = span.Context()
+	span.End()
+	return route, nil
+}
+
+func (l *LoadBalancer) dispatch(sessionID, txnName string) (Route, error) {
 	best, err := l.pick()
 	if err != nil {
 		return Route{}, err

@@ -1,0 +1,161 @@
+package dtrace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic injectable clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func newTestTracer(node string, coll *Collector) (*Tracer, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return New(node, coll, WithClock(clk.now), WithSeed(42)), clk
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("x")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.Link(SpanContext{})
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatal("nil span context must be invalid")
+	}
+	child := tr.StartSpan("y", SpanContext{})
+	if child != nil {
+		t.Fatal("nil tracer must return nil child span")
+	}
+	var c *Collector
+	c.add(Span{})
+	if c.Total() != 0 || c.Dropped() != 0 || c.Trace(TraceID{}) != nil || c.Recent(1) != nil {
+		t.Fatal("nil collector must be inert")
+	}
+}
+
+func TestSpanParentingAndCollect(t *testing.T) {
+	coll := NewCollector(16)
+	tr, _ := newTestTracer("node0", coll)
+
+	root := tr.StartRoot("client.txn")
+	child := tr.StartSpan("replica.txn", root.Context())
+	child.SetAttr("replica", "0")
+	child.End()
+	root.End()
+
+	spans := coll.Trace(root.Context().Trace)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	forest := BuildForest(spans)
+	if len(forest) != 1 {
+		t.Fatalf("got %d roots, want 1", len(forest))
+	}
+	if forest[0].Span.Name != "client.txn" || len(forest[0].Children) != 1 {
+		t.Fatalf("bad tree shape: %+v", forest[0])
+	}
+	got := forest[0].Children[0]
+	if got.Span.Name != "replica.txn" || got.Span.Attrs["replica"] != "0" {
+		t.Fatalf("bad child: %+v", got.Span)
+	}
+	if got.Span.Duration() <= 0 {
+		t.Fatalf("child duration %v, want > 0", got.Span.Duration())
+	}
+	if len(Orphans(spans)) != 0 {
+		t.Fatalf("unexpected orphans: %v", Orphans(spans))
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	a, _ := newTestTracer("node0", nil)
+	b, _ := newTestTracer("node0", nil)
+	for i := 0; i < 10; i++ {
+		sa, sb := a.StartRoot("s"), b.StartRoot("s")
+		if sa.Context() != sb.Context() {
+			t.Fatalf("id streams diverged at %d: %v vs %v", i, sa.Context(), sb.Context())
+		}
+	}
+	// Different nodes (default seed) must not collide.
+	c := New("node1", nil, WithClock(func() time.Time { return time.Unix(0, 0) }))
+	if c.StartRoot("s").Context() == a.StartRoot("s").Context() {
+		t.Fatal("distinct nodes minted identical ids")
+	}
+}
+
+func TestCollectorRingAndDropped(t *testing.T) {
+	coll := NewCollector(4)
+	tr, _ := newTestTracer("n", coll)
+	for i := 0; i < 10; i++ {
+		tr.StartRoot("s").End()
+	}
+	if coll.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", coll.Total())
+	}
+	if coll.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", coll.Dropped())
+	}
+	if got := len(coll.Recent(0)); got != 4 {
+		t.Fatalf("Recent(0) = %d spans, want 4", got)
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	coll := NewCollector(8)
+	tr, _ := newTestTracer("n", coll)
+	sp := tr.StartRoot("s")
+	sp.End()
+	sp.End()
+	if coll.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 after double End", coll.Total())
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	tr, _ := newTestTracer("n", nil)
+	id := tr.StartRoot("s").Context().Trace
+	parsed, err := ParseTraceID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != id {
+		t.Fatalf("round trip %v != %v", parsed, id)
+	}
+	if _, err := ParseTraceID("zz"); err == nil {
+		t.Fatal("short/invalid id must fail to parse")
+	}
+}
+
+func TestSpanJSON(t *testing.T) {
+	coll := NewCollector(8)
+	tr, _ := newTestTracer("n", coll)
+	root := tr.StartRoot("a")
+	sp := tr.StartSpan("b", root.Context())
+	sp.Link(root.Context())
+	sp.End()
+	root.End()
+
+	raw, err := json.Marshal(coll.Recent(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Span
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d spans, want 2", len(back))
+	}
+	// Newest first: back[0] is the root, back[1] the linked child.
+	if back[1].Trace != root.Context().Trace || len(back[1].Links) != 1 {
+		t.Fatalf("ids or links lost in JSON: %+v", back[1])
+	}
+}

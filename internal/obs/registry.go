@@ -112,6 +112,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum.Add(int64(d))
 }
 
+// ObserveValue records one unitless value (e.g. a batch size) against
+// the same buckets. The rendered _sum is the plain value sum: values
+// are stored scaled so the nanosecond→second conversion used for
+// durations cancels out.
+func (h *Histogram) ObserveValue(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v * float64(time.Second)))
+}
+
 // Count returns the total number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

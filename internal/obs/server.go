@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
+
+	"sconrep/internal/obs/dtrace"
 )
 
 // Health is a role-aware readiness report: a replica is ready when its
@@ -27,6 +30,10 @@ type Options struct {
 	Registry *Registry
 	Traces   *TraceRecorder
 	Health   HealthFunc
+	// Spans is this process's distributed-tracing collector; when set,
+	// /trace/{hex-trace-id} serves the node's span fragment of that
+	// trace and /spans serves the most recent spans.
+	Spans *dtrace.Collector
 	// JSON mounts extra endpoints (path → value producer); responses
 	// are marshaled with encoding/json. Used by the bench runner to
 	// serve the live metrics.Snapshot at /snapshot.
@@ -65,9 +72,46 @@ func NewHandler(o Options) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {
-			Total  uint64  `json:"total_recorded"`
-			Traces []Trace `json:"traces"`
-		}{o.Traces.Total(), traces})
+			Total   uint64  `json:"total_recorded"`
+			Dropped uint64  `json:"dropped"`
+			Traces  []Trace `json:"traces"`
+		}{o.Traces.Total(), o.Traces.Dropped(), traces})
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id, err := dtrace.ParseTraceID(strings.TrimPrefix(r.URL.Path, "/trace/"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := o.Spans.Trace(id)
+		if spans == nil {
+			spans = []dtrace.Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Trace   string        `json:"trace"`
+			Total   uint64        `json:"total_recorded"`
+			Dropped uint64        `json:"dropped"`
+			Spans   []dtrace.Span `json:"spans"`
+		}{id.String(), o.Spans.Total(), o.Spans.Dropped(), spans})
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		spans := o.Spans.Recent(n)
+		if spans == nil {
+			spans = []dtrace.Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Total   uint64        `json:"total_recorded"`
+			Dropped uint64        `json:"dropped"`
+			Spans   []dtrace.Span `json:"spans"`
+		}{o.Spans.Total(), o.Spans.Dropped(), spans})
 	})
 	for path, fn := range o.JSON {
 		fn := fn

@@ -91,3 +91,15 @@ func (t *TraceRecorder) Total() uint64 {
 	defer t.mu.Unlock()
 	return t.total
 }
+
+// Dropped returns how many traces the ring has evicted — the gap
+// between Total and what Recent can still return. Scrapers use it to
+// detect silent ring overflow.
+func (t *TraceRecorder) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(t.count)
+}

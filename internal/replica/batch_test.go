@@ -9,6 +9,7 @@ import (
 
 	"sconrep/internal/certifier"
 	"sconrep/internal/latency"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/storage"
 	"sconrep/internal/writeset"
 )
@@ -92,7 +93,7 @@ type fakeCert struct {
 
 func newFakeCert() *fakeCert { return &fakeCert{queue: newFakeQueue()} }
 
-func (f *fakeCert) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error) {
+func (f *fakeCert) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet, _ dtrace.SpanContext) (certifier.Decision, error) {
 	f.mu.Lock()
 	v := f.nextCommit
 	f.nextCommit = 0

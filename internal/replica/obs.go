@@ -19,6 +19,11 @@ type obsState struct {
 	aborts        *obs.Counter
 	earlyAborts   *obs.Counter
 	certConflicts *obs.Counter
+	// reorderWait times refreshes from reorder-buffer arrival to the
+	// start of their group apply; applyBatch sizes the group-applied
+	// batches (ObserveValue, unitless).
+	reorderWait *obs.Histogram
+	applyBatch  *obs.Histogram
 
 	mu sync.Mutex
 	// tableVers tracks Vt per table for the table-version gauges.
@@ -51,6 +56,19 @@ func (r *Replica) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
 		"Aborts by early certification against pending refresh writesets (§IV).", "replica", id)
 	o.certConflicts = reg.Counter("sconrep_replica_cert_conflicts_total",
 		"Aborts decided by the certifier (first-committer-wins conflicts).", "replica", id)
+	o.reorderWait = reg.Histogram("sconrep_replica_reorder_wait_seconds",
+		"Time refreshes spend in the reorder buffer between arrival and the start of their group apply.",
+		nil, "replica", id)
+	o.applyBatch = reg.Histogram("sconrep_replica_apply_batch_size",
+		"Refreshes coalesced into one group-applied batch (bounded by MaxApplyBatch).",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}, "replica", id)
+	reg.GaugeFunc("sconrep_replica_reorder_depth",
+		"Refreshes held in the reorder buffer awaiting a contiguous run (plus the in-flight batch).",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.reorder) + len(r.applying))
+		}, "replica", id)
 	reg.GaugeFunc("sconrep_replica_applied_version",
 		"Vlocal: the replica's latest applied commit version.",
 		func() float64 { return float64(r.Version()) }, "replica", id)

@@ -21,6 +21,7 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"sconrep/internal/certifier"
 	"sconrep/internal/latency"
 	"sconrep/internal/metrics"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
 	"sconrep/internal/writeset"
@@ -51,8 +53,9 @@ var (
 // (certifier.Certifier via Local) or remote (wire.CertClient).
 type CertService interface {
 	// Certify submits an update transaction's writeset for
-	// certification.
-	Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error)
+	// certification. sc is the committing span's context (zero when
+	// tracing is off); remote implementations ship it on the wire.
+	Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet, sc dtrace.SpanContext) (certifier.Decision, error)
 	// Subscribe attaches the replica to the refresh stream.
 	Subscribe(replicaID int) RefreshSource
 	// Unsubscribe detaches it (crash).
@@ -81,8 +84,8 @@ type RefreshSource interface {
 // return type differs).
 type localCert struct{ c *certifier.Certifier }
 
-func (l localCert) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error) {
-	return l.c.Certify(origin, txnID, snapshot, ws)
+func (l localCert) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet, sc dtrace.SpanContext) (certifier.Decision, error) {
+	return l.c.CertifyCtx(origin, txnID, snapshot, ws, sc)
 }
 func (l localCert) Subscribe(id int) RefreshSource           { return l.c.Subscribe(id) }
 func (l localCert) Unsubscribe(id int)                       { l.c.Unsubscribe(id) }
@@ -179,6 +182,35 @@ type Replica struct {
 	// obs is the live-observability state; nil (one atomic load on hot
 	// paths) until EnableObs.
 	obs atomic.Pointer[obsState]
+	// tracer mints distributed-tracing spans; nil (one atomic load and
+	// a nil check on hot paths) until EnableTracing.
+	tracer atomic.Pointer[dtrace.Tracer]
+	// readStartCB observes each transaction's synchronization start
+	// delay; the cluster layer labels it with the consistency mode the
+	// replica itself does not know. Nil until OnReadStartDelay.
+	readStartCB atomic.Pointer[func(time.Duration)]
+	// arrived timestamps reorder-buffer entries for the wait histogram.
+	// Populated only while obs is enabled.
+	// guarded by mu
+	arrived map[uint64]time.Time
+}
+
+// EnableTracing attaches the distributed tracer: transactions then
+// record replica.txn/replica.exec/replica.commit spans and refresh
+// applies record refresh.apply spans parented under the certification
+// that shipped them. Call before traffic; a nil store disables again.
+func (r *Replica) EnableTracing(tr *dtrace.Tracer) { r.tracer.Store(tr) }
+
+// OnReadStartDelay installs a callback observing every transaction's
+// synchronization start delay (the wait for Vlocal to reach the
+// required version). The cluster layer uses it to feed the per-mode
+// read-start-delay histograms. Call before traffic; nil disables.
+func (r *Replica) OnReadStartDelay(fn func(time.Duration)) {
+	if fn == nil {
+		r.readStartCB.Store(nil)
+		return
+	}
+	r.readStartCB.Store(&fn)
 }
 
 // New creates a replica around an existing engine (already loaded with
@@ -199,6 +231,7 @@ func New(cfg Config, eng *storage.Engine, cert CertService) *Replica {
 		committing: make(map[uint64]bool),
 		actives:    make(map[uint64]*Txn),
 		slots:      make(chan struct{}, cfg.DBSlots),
+		arrived:    make(map[uint64]time.Time),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.attach()
@@ -283,9 +316,13 @@ func (r *Replica) applier(sub RefreshSource, gen int) {
 			r.mu.Unlock()
 			return
 		}
+		o := r.obs.Load()
 		for _, ref := range batch {
 			if ref.Version > r.eng.Version() {
 				r.reorder[ref.Version] = ref
+				if o != nil {
+					r.arrived[ref.Version] = time.Now()
+				}
 			}
 			if r.cfg.EarlyCert {
 				r.abortConflictingActivesLocked(ref.WS)
@@ -382,11 +419,25 @@ func (r *Replica) applyReadyLocked() bool {
 		if len(batch) == 0 {
 			return progress
 		}
+		if o := r.obs.Load(); o != nil {
+			now := time.Now()
+			for i := range batch {
+				if at, ok := r.arrived[batch[i].Version]; ok {
+					o.reorderWait.Observe(now.Sub(at))
+					delete(r.arrived, batch[i].Version)
+				}
+			}
+			o.applyBatch.ObserveValue(float64(len(batch)))
+		}
 		wss := make([]*writeset.WriteSet, len(batch))
 		for i := range batch {
 			wss[i] = batch[i].WS
 		}
 		last := batch[len(batch)-1].Version
+		var spans []*dtrace.ActiveSpan
+		if tr := r.tracer.Load(); tr != nil {
+			spans = r.startApplySpans(tr, batch)
+		}
 		r.applying = batch
 		r.mu.Unlock()
 		var err error
@@ -402,6 +453,9 @@ func (r *Replica) applyReadyLocked() bool {
 		})
 		r.mu.Lock()
 		r.applying = nil
+		for _, sp := range spans {
+			sp.End()
+		}
 		if err != nil {
 			// Ordering is enforced by construction; an apply failure
 			// here means state divergence, which must be loud.
@@ -427,6 +481,33 @@ func (r *Replica) applyReadyLocked() bool {
 		}
 		r.cond.Broadcast()
 	}
+}
+
+// startApplySpans mints one refresh.apply span per coalesced commit,
+// each parented under the certification that shipped it and linked to
+// the other members of the group-applied batch. Kept out of the apply
+// loop so the untraced hot path does not carry this body's code.
+func (r *Replica) startApplySpans(tr *dtrace.Tracer, batch []certifier.Refresh) []*dtrace.ActiveSpan {
+	spans := make([]*dtrace.ActiveSpan, len(batch))
+	id := strconv.Itoa(r.cfg.ID)
+	size := strconv.Itoa(len(batch))
+	for i := range batch {
+		parent := dtrace.SpanContext{}
+		if ws := batch[i].WS; ws != nil && ws.Trace != nil {
+			parent = *ws.Trace
+		}
+		sp := tr.StartSpan("refresh.apply", parent)
+		sp.SetAttr("replica", id)
+		sp.SetAttr("batch", size)
+		sp.SetAttr("version", strconv.FormatUint(batch[i].Version, 10))
+		for j := range batch {
+			if j != i && batch[j].WS != nil && batch[j].WS.Trace != nil {
+				sp.Link(*batch[j].WS.Trace)
+			}
+		}
+		spans[i] = sp
+	}
+	return spans
 }
 
 // WaitVersion blocks until Vlocal ≥ v (the synchronization start
@@ -460,11 +541,25 @@ type Txn struct {
 	outcome       string
 	commitVersion uint64
 	readOnly      bool
+	// span is the transaction's replica.txn span (nil when tracing is
+	// off); ended in abortInternal, the single finalization point.
+	span *dtrace.ActiveSpan
 }
+
+// TraceContext returns the transaction's replica.txn span context
+// (zero when tracing is off).
+func (t *Txn) TraceContext() dtrace.SpanContext { return t.span.Context() }
 
 // Begin starts a client transaction once the replica has reached
 // minVersion. The timer's Version stage covers the wait.
 func (r *Replica) Begin(minVersion uint64, timer *metrics.TxnTimer) (*Txn, error) {
+	return r.BeginCtx(minVersion, timer, dtrace.SpanContext{})
+}
+
+// BeginCtx is Begin carrying the caller's span context: the
+// transaction records a replica.txn span (with a replica.version_wait
+// child covering the synchronization start delay) parented under sc.
+func (r *Replica) BeginCtx(minVersion uint64, timer *metrics.TxnTimer, sc dtrace.SpanContext) (*Txn, error) {
 	if timer != nil {
 		timer.Start(metrics.StageVersion)
 	}
@@ -473,24 +568,44 @@ func (r *Replica) Begin(minVersion uint64, timer *metrics.TxnTimer) (*Txn, error
 		minVersion = r.minServe
 	}
 	r.mu.Unlock()
-	if o := r.obs.Load(); o != nil {
-		waitStart := time.Now()
-		if err := r.WaitVersion(minVersion); err != nil {
-			return nil, err
-		}
-		o.syncDelay.Observe(time.Since(waitStart))
-	} else if err := r.WaitVersion(minVersion); err != nil {
+	span := r.tracer.Load().StartSpan("replica.txn", sc)
+	span.SetAttr("replica", strconv.Itoa(r.cfg.ID))
+	span.SetAttr("min_version", strconv.FormatUint(minVersion, 10))
+	waitSpan := r.tracer.Load().StartSpan("replica.version_wait", span.Context())
+	o := r.obs.Load()
+	cb := r.readStartCB.Load()
+	var waitStart time.Time
+	if o != nil || cb != nil {
+		waitStart = time.Now()
+	}
+	err := r.WaitVersion(minVersion)
+	waitSpan.End()
+	if err != nil {
+		span.SetAttr("outcome", "crashed")
+		span.End()
 		return nil, err
+	}
+	if o != nil || cb != nil {
+		d := time.Since(waitStart)
+		if o != nil {
+			o.syncDelay.Observe(d)
+		}
+		if cb != nil {
+			(*cb)(d)
+		}
 	}
 	tx := &Txn{
 		r:       r,
 		id:      r.nextTxnID.Add(1),
 		timer:   timer,
 		touched: make(map[string]bool),
+		span:    span,
 	}
 	r.mu.Lock()
 	if r.crashed {
 		r.mu.Unlock()
+		span.SetAttr("outcome", "crashed")
+		span.End()
 		return nil, ErrCrashed
 	}
 	tx.stx = r.eng.Begin()
@@ -538,6 +653,7 @@ func (t *Txn) Exec(p *sql.Prepared, params ...any) (*sql.Result, error) {
 	if err := t.checkAlive(); err != nil {
 		return nil, err
 	}
+	sp := t.r.tracer.Load().StartSpan("replica.exec", t.span.Context())
 	var res *sql.Result
 	var err error
 	t.r.withSlot(func() {
@@ -546,6 +662,7 @@ func (t *Txn) Exec(p *sql.Prepared, params ...any) (*sql.Result, error) {
 		}
 		res, err = p.Exec(t.stx, t.r.eng, params...)
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -569,6 +686,7 @@ func (t *Txn) ExecSQL(src string, params ...any) (*sql.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := t.r.tracer.Load().StartSpan("replica.exec", t.span.Context())
 	var res *sql.Result
 	t.r.withSlot(func() {
 		if t.r.lat != nil {
@@ -576,6 +694,7 @@ func (t *Txn) ExecSQL(src string, params ...any) (*sql.Result, error) {
 		}
 		res, err = sql.ExecStmt(t.stx, t.r.eng, stmt, params...)
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -662,6 +781,17 @@ func (t *Txn) abortInternal() {
 	if o := t.r.obs.Load(); o != nil {
 		o.finish(t)
 	}
+	if t.span != nil {
+		outcome := t.outcome
+		if outcome == "" {
+			outcome = "abort"
+		}
+		t.span.SetAttr("outcome", outcome)
+		if t.commitVersion != 0 {
+			t.span.SetAttr("version", strconv.FormatUint(t.commitVersion, 10))
+		}
+		t.span.End()
+	}
 }
 
 // CommitResult describes a successful commit.
@@ -694,8 +824,11 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		}
 		return CommitResult{}, err
 	}
+	commitSpan := t.r.tracer.Load().StartSpan("replica.commit", t.span.Context())
+	defer commitSpan.End()
 	ws := t.stx.WriteSet()
 	if ws.Empty() {
+		commitSpan.SetAttr("read_only", "true")
 		// Read-only: local commit, no certification (§IV).
 		if t.timer != nil {
 			t.timer.Start(metrics.StageCommit)
@@ -719,7 +852,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 	if t.r.lat != nil {
 		t.r.lat.RoundTrip()
 	}
-	dec, err := t.r.cert.Certify(t.r.cfg.ID, t.id, t.stx.Snapshot(), ws)
+	dec, err := t.r.cert.Certify(t.r.cfg.ID, t.id, t.stx.Snapshot(), ws, commitSpan.Context())
 	if err != nil {
 		t.abortInternal()
 		return CommitResult{}, err
@@ -738,6 +871,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		t.timer.Start(metrics.StageSync)
 	}
 	r := t.r
+	syncSpan := r.tracer.Load().StartSpan("replica.sync_wait", commitSpan.Context())
 	r.mu.Lock()
 	r.committing[dec.Version] = true
 	r.cond.Broadcast() // let the drainer re-evaluate its stop condition
@@ -746,6 +880,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		if r.crashed {
 			delete(r.committing, dec.Version)
 			r.mu.Unlock()
+			syncSpan.End()
 			t.abortInternal()
 			return CommitResult{}, ErrCrashed
 		}
@@ -766,6 +901,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		r.cond.Wait()
 	}
 	r.mu.Unlock()
+	syncSpan.End()
 
 	// Local commit at the assigned version.
 	if t.timer != nil {
@@ -803,7 +939,9 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		if t.timer != nil {
 			t.timer.Start(metrics.StageGlobal)
 		}
+		globalSpan := r.tracer.Load().StartSpan("replica.global_wait", commitSpan.Context())
 		<-r.cert.GlobalCommitted(dec.Version)
+		globalSpan.End()
 		if r.lat != nil {
 			r.lat.RoundTrip()
 		}
@@ -835,6 +973,7 @@ func (r *Replica) Crash() {
 	}
 	r.reorder = make(map[uint64]certifier.Refresh)
 	r.committing = make(map[uint64]bool)
+	r.arrived = make(map[uint64]time.Time)
 	acks := r.acks
 	r.cond.Broadcast()
 	r.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 
 	"sconrep/internal/certifier"
 	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/replica"
 	"sconrep/internal/writeset"
 )
@@ -36,6 +37,10 @@ type certRequest struct {
 	TxnID    uint64
 	Snapshot uint64
 	WS       *writeset.WriteSet
+	// Trace is the committing span's context — an optional frame-header
+	// extension; peers that predate tracing leave it zero and gob lets
+	// older servers skip it entirely.
+	Trace dtrace.SpanContext
 
 	// applied / globalwait / unsubscribe
 	ReplicaID int
@@ -52,6 +57,9 @@ type certResponse struct {
 	Decision certifier.Decision
 	History  []certifier.Refresh
 	Version  uint64
+	// TableVers answers the "tablevers" op: the latest commit version
+	// that wrote each table.
+	TableVers map[string]uint64
 }
 
 func (r *certRequest) setSeq(n uint64) { r.Seq = n }
@@ -288,7 +296,7 @@ func (s *CertServer) serveRequests(c net.Conn, dec *gob.Decoder, fw *frameWriter
 		resp.Seq = req.Seq
 		switch req.Op {
 		case "certify":
-			d, err := s.cert.Certify(req.Origin, req.TxnID, req.Snapshot, cloneWS(req.WS))
+			d, err := s.cert.CertifyCtx(req.Origin, req.TxnID, req.Snapshot, cloneWS(req.WS), req.Trace)
 			if err != nil {
 				resp.Err = err.Error()
 			}
@@ -301,6 +309,8 @@ func (s *CertServer) serveRequests(c net.Conn, dec *gob.Decoder, fw *frameWriter
 			<-s.cert.GlobalCommitted(req.Version)
 		case "version":
 			resp.Version = s.cert.Version()
+		case "tablevers":
+			resp.TableVers = s.cert.TableVersions()
 		case "unsubscribe":
 			s.cert.Unsubscribe(req.ReplicaID)
 		default:
@@ -453,8 +463,8 @@ func (c *CertClient) appErr(resp certResponse) (certResponse, error) {
 // the certifier memoizes commit decisions per (origin, txn, snapshot),
 // so a retry after a lost response returns the original decision
 // instead of a spurious conflict.
-func (c *CertClient) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet) (certifier.Decision, error) {
-	resp, err := c.callRetry(certRequest{Op: "certify", Origin: origin, TxnID: txnID, Snapshot: snapshot, WS: ws}, c.opts.to.Call, 0)
+func (c *CertClient) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet, sc dtrace.SpanContext) (certifier.Decision, error) {
+	resp, err := c.callRetry(certRequest{Op: "certify", Origin: origin, TxnID: txnID, Snapshot: snapshot, WS: ws, Trace: sc}, c.opts.to.Call, 0)
 	return resp.Decision, err
 }
 
@@ -724,6 +734,18 @@ func (c *CertClient) Version() (uint64, error) {
 		return 0, err
 	}
 	return resp.Version, nil
+}
+
+// TableVersions fetches the certifier's per-table commit versions —
+// the authoritative side of the per-table replication-lag gauges a
+// replica compares its own TableVersionsAt against (so /healthz can
+// report the max per-table lag instead of a scalar version delta).
+func (c *CertClient) TableVersions() (map[string]uint64, error) {
+	var resp certResponse
+	if err := c.pool.callDeadline(&certRequest{Op: "tablevers"}, &resp, c.opts.to.Call); err != nil {
+		return nil, err
+	}
+	return resp.TableVers, nil
 }
 
 // History implements replica.CertService.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/sql"
 )
 
@@ -99,7 +100,14 @@ func (c *Client) Begin(txnName string) error {
 // BeginTx starts a transaction and returns the snapshot version it
 // reads at.
 func (c *Client) BeginTx(txnName string) (snapshot uint64, err error) {
-	resp, err := c.call(clientRequest{Op: "begin", TxnName: txnName})
+	return c.BeginTxCtx(txnName, dtrace.SpanContext{})
+}
+
+// BeginTxCtx is BeginTx carrying the caller's span context, which the
+// gateway threads through its routing decision and the replica begin
+// so the whole chain joins one trace.
+func (c *Client) BeginTxCtx(txnName string, sc dtrace.SpanContext) (snapshot uint64, err error) {
+	resp, err := c.call(clientRequest{Op: "begin", TxnName: txnName, Trace: sc})
 	if err != nil {
 		return 0, err
 	}
@@ -109,7 +117,12 @@ func (c *Client) BeginTx(txnName string) (snapshot uint64, err error) {
 // BeginTablesTx starts a transaction tagged with an explicit table-set
 // (the fine-grained mode's footnote-1 alternative to registration).
 func (c *Client) BeginTablesTx(tables []string) (snapshot uint64, err error) {
-	resp, err := c.call(clientRequest{Op: "begin", Tables: tables})
+	return c.BeginTablesTxCtx(tables, dtrace.SpanContext{})
+}
+
+// BeginTablesTxCtx is BeginTablesTx carrying the caller's span context.
+func (c *Client) BeginTablesTxCtx(tables []string, sc dtrace.SpanContext) (snapshot uint64, err error) {
+	resp, err := c.call(clientRequest{Op: "begin", Tables: tables, Trace: sc})
 	if err != nil {
 		return 0, err
 	}

@@ -12,6 +12,7 @@ import (
 	"sconrep/internal/core"
 	"sconrep/internal/lb"
 	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 )
@@ -33,6 +34,10 @@ type clientRequest struct {
 
 	// begin
 	TxnName string
+	// Trace is the client-side root span's context, propagated through
+	// the lb route and the replica begin. Optional frame-header
+	// extension: old clients never set it, old gateways skip it.
+	Trace dtrace.SpanContext
 
 	// exec
 	SQL    string
@@ -246,14 +251,21 @@ func (g *Gateway) dispatch(sess *gatewaySession, req *clientRequest) *clientResp
 		if len(req.Tables) > 0 {
 			route, err = g.balancer.DispatchTables(sess.id, req.Tables)
 		} else {
-			route, err = g.balancer.Dispatch(sess.id, req.TxnName)
+			route, err = g.balancer.DispatchCtx(sess.id, req.TxnName, req.Trace)
 		}
 		if err != nil {
 			return fail(err)
 		}
 		rr := route.Node.(*remoteReplica)
 		rr.active.Add(1)
-		r, err := rr.call(&replicaRequest{Op: "begin", MinVersion: route.MinVersion})
+		// An untraced (or pre-tracing) client supplies no span context;
+		// fall back to the route span so the replica's work still joins
+		// a gateway-rooted trace instead of fragmenting.
+		downstream := req.Trace
+		if !downstream.Valid() {
+			downstream = route.Trace
+		}
+		r, err := rr.call(&replicaRequest{Op: "begin", MinVersion: route.MinVersion, Trace: downstream})
 		if err != nil {
 			rr.active.Add(-1)
 			return fail(err)

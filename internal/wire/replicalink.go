@@ -12,6 +12,7 @@ import (
 	"sconrep/internal/lb"
 	"sconrep/internal/metrics"
 	"sconrep/internal/obs"
+	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 )
@@ -25,6 +26,10 @@ type replicaRequest struct {
 
 	// begin
 	MinVersion uint64
+	// Trace is the caller's span context for begin — an optional
+	// frame-header extension old peers ignore (gob skips unknown
+	// fields and zero-fills missing ones).
+	Trace dtrace.SpanContext
 
 	// exec / commit / abort
 	TxnID  uint64
@@ -280,7 +285,7 @@ func (s *ReplicaServer) dispatch(req *replicaRequest) *replicaResponse {
 				return fail(err)
 			}
 		}
-		tx, err := s.rep.Begin(req.MinVersion, metrics.NewTxnTimer())
+		tx, err := s.rep.BeginCtx(req.MinVersion, metrics.NewTxnTimer(), req.Trace)
 		if err != nil {
 			return fail(err)
 		}

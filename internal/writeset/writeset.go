@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"sconrep/internal/obs/dtrace"
 )
 
 // Op is the kind of modification an Item carries.
@@ -54,6 +56,16 @@ type Item struct {
 // set-based.
 type WriteSet struct {
 	Items []Item
+	// Trace is the certifying span's context, attached by the
+	// certifier when tracing is enabled so each replica's refresh
+	// apply parents under the certification that shipped the writeset.
+	// It rides here, not on the Refresh envelope, because the cloned
+	// writeset is the one allocation already shared by every replica's
+	// refresh copy: the envelopes that flow through mailbox rings,
+	// reorder buffers, and group-apply batches by value stay exactly
+	// as small as before tracing. Nil when tracing is off; peers that
+	// predate tracing leave it nil and gob skips it in both directions.
+	Trace *dtrace.SpanContext
 }
 
 // Empty reports whether the transaction was read-only.
@@ -121,7 +133,7 @@ func (ws *WriteSet) Clone() *WriteSet {
 	if ws == nil {
 		return nil
 	}
-	out := &WriteSet{Items: make([]Item, len(ws.Items))}
+	out := &WriteSet{Items: make([]Item, len(ws.Items)), Trace: ws.Trace}
 	for i, it := range ws.Items {
 		cp := it
 		if it.Row != nil {
