@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint ci chaos bench bench-hotpath sweep examples clean
+.PHONY: all build test race vet lint ci chaos bench bench-hotpath fuzz-smoke sweep examples clean
 
 # Pinned external linter versions (CI installs these; locally they run
 # only when already on PATH — the build never downloads tools).
@@ -64,20 +64,31 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Hot-path benchmarks: group-applied refresh batches vs the seed's
+# Hot-path benchmarks: group-applied refresh batches (serial, parallel
+# conflict-aware, fully-conflicting fallback) vs the seed's
 # per-writeset path, the 100k-entry History lookup, and refresh
-# streaming over a real TCP link. Results land in BENCH_hotpath.json
-# (committed, so before/after numbers travel with the code). Override
-# BENCHTIME for quicker smoke runs (CI uses 100ms).
+# streaming over a real TCP link in both stream codecs (gob and the
+# negotiated binary one). Results land in BENCH_hotpath.json
+# (committed, so before/after numbers travel with the code); benchjson
+# -require fails the run if any expected benchmark went missing.
+# Override BENCHTIME for quicker smoke runs (CI uses 100ms).
 BENCHTIME ?= 1s
 HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkHistoryLookup|BenchmarkWireRefreshStream|BenchmarkTraceOverhead
+HOTPATH_REQUIRE = BenchmarkRefreshApply/batched,BenchmarkRefreshApply/parallel,BenchmarkRefreshApply/conflicting,BenchmarkRefreshApply/perwriteset,BenchmarkHistoryLookup/tail,BenchmarkWireRefreshStream/gob,BenchmarkWireRefreshStream/binary,BenchmarkTraceOverhead/disabled,BenchmarkTraceOverhead/enabled
 bench-hotpath:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem -benchtime $(BENCHTIME) \
 		./internal/replica/ ./internal/certifier/ ./internal/wire/ \
 		| tee bench_output.txt
-	$(GO) run ./cmd/benchjson < bench_output.txt > BENCH_hotpath.json
+	$(GO) run ./cmd/benchjson -require '$(HOTPATH_REQUIRE)' < bench_output.txt > BENCH_hotpath.json
 	@rm -f bench_output.txt
 	@echo "wrote BENCH_hotpath.json"
+
+# Fuzz smoke: the binary refresh codec's fuzz target, long enough to
+# shake out parser regressions without stalling CI. Override FUZZTIME
+# for longer local runs.
+FUZZTIME ?= 15s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRefreshCodec -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Full evaluation sweep (regenerates every figure; ~15 minutes).
 sweep:

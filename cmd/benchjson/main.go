@@ -13,6 +13,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -34,6 +35,9 @@ type doc struct {
 }
 
 func main() {
+	require := flag.String("require", "",
+		"comma-separated benchmark names (GOMAXPROCS suffix stripped) that must appear in the input; exit non-zero if any is missing")
+	flag.Parse()
 	var d doc
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -63,6 +67,29 @@ func main() {
 	if len(d.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
+	}
+	if *require != "" {
+		have := make(map[string]bool, len(d.Benchmarks))
+		for _, r := range d.Benchmarks {
+			// "BenchmarkFoo/sub-8" → "BenchmarkFoo/sub"
+			name := r.Name
+			if i := strings.LastIndex(name, "-"); i > 0 {
+				if _, err := strconv.Atoi(name[i+1:]); err == nil {
+					name = name[:i]
+				}
+			}
+			have[name] = true
+		}
+		missing := false
+		for _, want := range strings.Split(*require, ",") {
+			if want = strings.TrimSpace(want); want != "" && !have[want] {
+				fmt.Fprintf(os.Stderr, "benchjson: required benchmark missing: %s\n", want)
+				missing = true
+			}
+		}
+		if missing {
+			os.Exit(1)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -57,6 +57,8 @@ func main() {
 	backoffMax := flag.Duration("backoff-max", time.Second, "backoff ceiling")
 	subLease := flag.Duration("sub-lease", 10*time.Second, "certifier role: how long a replica stays subscribed after its refresh stream drops")
 	streamGrace := flag.Duration("stream-grace", 500*time.Millisecond, "replica role: how long after losing the refresh stream the replica keeps serving; must stay below -sub-lease")
+	applyWorkers := flag.Int("apply-workers", 0, "replica role: width of the conflict-aware parallel refresh applier (0 = default, 1 = serial group apply)")
+	maxApplyBatch := flag.Int("max-apply-batch", 0, "replica role: refresh group-apply batch bound (0 = default)")
 	flag.Parse()
 
 	wireOpts := []wire.Option{
@@ -68,7 +70,7 @@ func main() {
 	case "certifier":
 		runCertifier(*listen, *walPath, *eager, *obsAddr, append(wireOpts, wire.WithSubLease(*subLease)))
 	case "replica":
-		runReplica(*listen, *id, *certAddr, *bootstrap, *obsAddr, *obsMaxLag, *streamGrace, wireOpts)
+		runReplica(*listen, *id, *certAddr, *bootstrap, *obsAddr, *obsMaxLag, *streamGrace, *applyWorkers, *maxApplyBatch, wireOpts)
 	case "gateway":
 		runGateway(*listen, *modeFlag, *replicasFlag, *obsAddr, wireOpts)
 	case "client":
@@ -149,7 +151,7 @@ func serveCertifier(cert *certifier.Certifier, listen, obsAddr string, wireOpts 
 	select {}
 }
 
-func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxLag uint64, streamGrace time.Duration, wireOpts []wire.Option) {
+func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxLag uint64, streamGrace time.Duration, applyWorkers, maxApplyBatch int, wireOpts []wire.Option) {
 	if certAddr == "" {
 		log.Fatal("replica role requires -certifier")
 	}
@@ -161,7 +163,12 @@ func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxL
 	}
 	cc := wire.DialCertifier(certAddr, id, eng.Version(),
 		append(wireOpts, wire.WithVLocal(eng.Version))...)
-	rep := replica.New(replica.Config{ID: id, EarlyCert: true}, eng, cc)
+	rep := replica.New(replica.Config{
+		ID:            id,
+		EarlyCert:     true,
+		ApplyWorkers:  applyWorkers,
+		MaxApplyBatch: maxApplyBatch,
+	}, eng, cc)
 	// Serve gate: while the refresh stream has been dead longer than the
 	// grace (or the replica is still catching up to the version floor it
 	// saw at resubscribe), begin requests fail with ErrUnavailable and

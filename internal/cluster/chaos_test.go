@@ -101,6 +101,12 @@ func runChaos(t *testing.T, mode core.Mode, seed int64) {
 		Mode:          mode,
 		Seed:          seed,
 		RecordHistory: true,
+		// Chaos runs with the conflict-aware parallel applier wide open:
+		// fault-injected reconnect storms must hit the install/publish
+		// split, the striped fast path, and the serial fallback, not just
+		// the ApplyWorkers=1 configuration.
+		ApplyWorkers:  4,
+		MaxApplyBatch: 32,
 	}, ncfg)
 	if err != nil {
 		t.Fatalf("%v\n%s", err, replay)

@@ -50,6 +50,12 @@ type Config struct {
 	WAL *wal.Log
 	// RecordHistory enables the consistency-checking event recorder.
 	RecordHistory bool
+	// ApplyWorkers is forwarded to every replica's conflict-aware
+	// parallel refresh applier (0 = the replica default).
+	ApplyWorkers int
+	// MaxApplyBatch is forwarded to every replica's group-apply batch
+	// bound (0 = the replica default).
+	MaxApplyBatch int
 }
 
 // Cluster is a running replicated database.
@@ -116,9 +122,11 @@ func New(cfg Config) (*Cluster, error) {
 	nodes := make([]lb.Node, 0, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
 		r := replica.New(replica.Config{
-			ID:        i,
-			EarlyCert: !cfg.DisableEarlyCert,
-			Latency:   latency.NewSource(cfg.Latency, cfg.Seed+int64(i)*7919+1),
+			ID:            i,
+			EarlyCert:     !cfg.DisableEarlyCert,
+			Latency:       latency.NewSource(cfg.Latency, cfg.Seed+int64(i)*7919+1),
+			ApplyWorkers:  cfg.ApplyWorkers,
+			MaxApplyBatch: cfg.MaxApplyBatch,
 		}, storage.NewEngine(), replica.Local(c.cert))
 		c.replicas = append(c.replicas, r)
 		nodes = append(nodes, r)

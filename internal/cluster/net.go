@@ -109,9 +109,11 @@ func NewNetworked(cfg Config, ncfg NetConfig) (*Cluster, error) {
 				wire.WithVLocal(eng.Version))...)
 		n.certClients = append(n.certClients, cc)
 		r := replica.New(replica.Config{
-			ID:        i,
-			EarlyCert: !cfg.DisableEarlyCert,
-			Latency:   latency.NewSource(cfg.Latency, cfg.Seed+int64(i)*7919+1),
+			ID:            i,
+			EarlyCert:     !cfg.DisableEarlyCert,
+			Latency:       latency.NewSource(cfg.Latency, cfg.Seed+int64(i)*7919+1),
+			ApplyWorkers:  cfg.ApplyWorkers,
+			MaxApplyBatch: cfg.MaxApplyBatch,
 		}, eng, cc)
 		c.replicas = append(c.replicas, r)
 		grace := ncfg.StreamGrace

@@ -36,23 +36,37 @@ func benchEngine(b *testing.B) *storage.Engine {
 	return eng
 }
 
-// BenchmarkRefreshApply drains a 64-refresh backlog per iteration, in
-// the group-apply configuration and in the seed's per-writeset one
-// (one engine critical section, one broadcast, and one ack goroutine
-// per refresh). No latency model is attached: the numbers are the pure
-// hot-path cost, which is what the batching work set out to cut.
+// BenchmarkRefreshApply drains a 64-refresh backlog per iteration:
+//
+//   - batched: the serial group-apply configuration (ApplyWorkers=1) —
+//     the PR 4 baseline the parallel applier is measured against;
+//   - parallel: the conflict-aware worker pool on a non-conflicting
+//     backlog (64 distinct keys), the applier's best case;
+//   - conflicting: the pool on a fully-conflicting backlog (one hot
+//     key) — the conflict graph is a pure chain, so this exercises the
+//     serial fallback and must not regress against batched;
+//   - perwriteset: the seed's pre-batching path (one engine critical
+//     section, one broadcast, and one ack goroutine per refresh).
+//
+// No latency model is attached: the numbers are the pure hot-path
+// cost, which is what the batching and parallel-apply work set out to
+// cut.
 func BenchmarkRefreshApply(b *testing.B) {
 	for _, mode := range []struct {
 		name string
+		cfg  Config
 		per  bool
+		key  func(i int) int64
 	}{
-		{"batched", false},
-		{"perwriteset", true},
+		{"batched", Config{ID: 0, ApplyWorkers: 1}, false, func(i int) int64 { return int64(i % 10) }},
+		{"parallel", Config{ID: 0, ApplyWorkers: 4, MaxApplyBatch: benchBacklog}, false, func(i int) int64 { return int64(i) }},
+		{"conflicting", Config{ID: 0, ApplyWorkers: 4, MaxApplyBatch: benchBacklog}, false, func(i int) int64 { return 0 }},
+		{"perwriteset", Config{ID: 0, ApplyWorkers: 1}, true, func(i int) int64 { return int64(i % 10) }},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			eng := benchEngine(b)
 			fake := newFakeCert()
-			r := New(Config{ID: 0}, eng, fake)
+			r := New(mode.cfg, eng, fake)
 			defer r.Crash()
 			r.mu.Lock()
 			r.benchPerWriteset = mode.per
@@ -67,7 +81,7 @@ func BenchmarkRefreshApply(b *testing.B) {
 				b.Fatal("kv schema missing")
 			}
 			for i := range wss {
-				row := []any{int64(i % 10), fmt.Sprintf("w%d", i)}
+				row := []any{mode.key(i), fmt.Sprintf("w%d", i)}
 				key, err := schema.KeyOf(row)
 				if err != nil {
 					b.Fatal(err)

@@ -120,7 +120,20 @@ type Config struct {
 	// on a deep backlog would erase the fine-grained mode's start-delay
 	// advantage over the coarse one. Same trade-off, and same fix, as
 	// bounding a group commit.
+	//
+	// With ApplyWorkers > 1 the parallel applier publishes versions
+	// progressively (each version becomes visible as soon as its
+	// contiguous prefix is installed), which removes the tail-only-
+	// publication penalty and makes larger batches safe to run wide.
 	MaxApplyBatch int
+	// ApplyWorkers is the width of the conflict-aware parallel refresh
+	// applier: how many goroutines may install writesets from one
+	// group-applied batch into the engine concurrently (default 4).
+	// The batch's dependency graph (writeset.NewConflictGraph) keeps
+	// conflicting writesets ordered, and versions publish strictly in
+	// order regardless of install interleaving. 1 restores the serial
+	// single-critical-section batch path of PR 4.
+	ApplyWorkers int
 }
 
 // Replica is one proxy + DBMS pair.
@@ -172,6 +185,18 @@ type Replica struct {
 	// guarded by mu
 	minServe uint64
 
+	// gb recycles conflict-graph builder state across group-applied
+	// batches. Accessed only from inside the applying window (at most
+	// one batch is inside the engine at a time), which serializes it.
+	gb writeset.GraphBuilder
+	// wssBuf recycles the per-batch writeset slice; same serialization
+	// as gb (built under mu while the applying window is empty, used
+	// until the batch completes).
+	wssBuf []*writeset.WriteSet
+	// stripes recycles the striped applier's per-batch state; same
+	// serialization as gb.
+	stripes stripeScratch
+
 	slots chan struct{}
 
 	nextTxnID atomic.Uint64
@@ -221,6 +246,9 @@ func New(cfg Config, eng *storage.Engine, cert CertService) *Replica {
 	}
 	if cfg.MaxApplyBatch <= 0 {
 		cfg.MaxApplyBatch = 8
+	}
+	if cfg.ApplyWorkers <= 0 {
+		cfg.ApplyWorkers = 4
 	}
 	r := &Replica{
 		cfg:        cfg,
@@ -398,7 +426,17 @@ func (r *Replica) applyReadyLocked() bool {
 				delete(r.reorder, v)
 			}
 		}
-		var batch []certifier.Refresh
+		// Pre-size to the group bound (capped by what is buffered): the
+		// batch escapes into r.applying, so growth by append would pay
+		// log2(n) reallocations per drained backlog.
+		hint := r.cfg.MaxApplyBatch
+		if hint > len(r.reorder) {
+			hint = len(r.reorder)
+		}
+		if r.benchPerWriteset {
+			hint = 1
+		}
+		batch := make([]certifier.Refresh, 0, hint)
 		for v := start; ; v++ {
 			if r.committing[v] {
 				break // a local commit owns this version
@@ -429,10 +467,11 @@ func (r *Replica) applyReadyLocked() bool {
 			}
 			o.applyBatch.ObserveValue(float64(len(batch)))
 		}
-		wss := make([]*writeset.WriteSet, len(batch))
+		wss := r.wssBuf[:0]
 		for i := range batch {
-			wss[i] = batch[i].WS
+			wss = append(wss, batch[i].WS)
 		}
+		r.wssBuf = wss[:0]
 		last := batch[len(batch)-1].Version
 		var spans []*dtrace.ActiveSpan
 		if tr := r.tracer.Load(); tr != nil {
@@ -441,6 +480,7 @@ func (r *Replica) applyReadyLocked() bool {
 		r.applying = batch
 		r.mu.Unlock()
 		var err error
+		var counted bool
 		r.withSlot(func() {
 			if r.lat != nil {
 				if r.benchPerWriteset {
@@ -449,7 +489,18 @@ func (r *Replica) applyReadyLocked() bool {
 					r.lat.ApplyWriteSetBatch(len(batch))
 				}
 			}
-			err = r.eng.ApplyWriteSetBatch(wss, start)
+			// The conflict-aware pool models the DBMS's intra-operation
+			// parallelism, so the whole batch still costs one DBMS slot
+			// and one amortized latency charge, exactly like the serial
+			// batch path it replaces. It owns the AppliedRefreshes
+			// accounting too, so a progressively published version never
+			// becomes visible before its refreshes are counted.
+			if r.cfg.ApplyWorkers > 1 && len(wss) > 1 && !r.benchPerWriteset {
+				counted = true
+				err = r.applyBatchParallel(wss, start)
+			} else {
+				err = r.eng.ApplyWriteSetBatch(wss, start)
+			}
 		})
 		r.mu.Lock()
 		r.applying = nil
@@ -462,7 +513,9 @@ func (r *Replica) applyReadyLocked() bool {
 			panic(fmt.Sprintf("replica %d: refresh apply at %d..%d: %v", r.cfg.ID, start, last, err))
 		}
 		progress = true
-		r.appliedRefreshes.Add(int64(len(batch)))
+		if !counted {
+			r.appliedRefreshes.Add(int64(len(batch)))
+		}
 		if o := r.obs.Load(); o != nil {
 			for i := range batch {
 				o.noteTables(batch[i].WS.Tables(), batch[i].Version)
@@ -730,10 +783,15 @@ func (t *Txn) afterWrite() error {
 		}
 		// The drainer's in-flight batch left the reorder buffer but is
 		// not yet applied; each of its writesets must still be checked
-		// individually.
+		// individually. Members at or below this transaction's snapshot
+		// are exempt: the parallel applier publishes versions
+		// progressively, so such a member already committed before our
+		// snapshot and cannot fail our certification — aborting on it
+		// would be a spurious kill, not an early detection.
 		if !killed {
+			snap := t.stx.Snapshot()
 			for i := range r.applying {
-				if r.applying[i].WS.ConflictsWith(ws) {
+				if r.applying[i].Version > snap && r.applying[i].WS.ConflictsWith(ws) {
 					killed = true
 					t.killed = true
 					break

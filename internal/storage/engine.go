@@ -18,12 +18,27 @@
 // primary key; each row is a version chain. Secondary indexes are
 // value-superset indexes: an entry exists while any live version of the
 // row carries the indexed value, and readers re-check visibility.
+//
+// Concurrency model. Two write paths exist. The serial path
+// (ApplyWriteSet, ApplyWriteSetBatch, CommitLocal, Vacuum) holds e.mu
+// exclusively, exactly as the paper's one-commit-at-a-time proxy
+// requires. The concurrent path splits install from publish:
+// InstallWriteSet installs row versions under only a read lock on e.mu
+// plus short per-table critical sections, and a later PublishVersion
+// makes them visible by advancing the version watermark. Readers take
+// the per-table lock for B-tree and index traversal and rely on
+// atomically swapped chain heads plus the snapshot filter, so versions
+// installed but not yet published are never observable. The caller
+// (the replica's conflict-aware applier) guarantees that concurrent
+// installs never share a record and that same-record installs are
+// ordered by version.
 package storage
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sconrep/internal/btree"
 	"sconrep/internal/writeset"
@@ -40,7 +55,9 @@ var (
 	ErrBadVersion   = errors.New("storage: commit version out of order")
 )
 
-// verRow is one version of a row. deleted marks a tombstone.
+// verRow is one version of a row. deleted marks a tombstone. row and
+// prev are immutable after the verRow is linked into a chain, except
+// that Vacuum (under an exclusive engine lock) may cut prev.
 type verRow struct {
 	version uint64
 	deleted bool
@@ -48,14 +65,17 @@ type verRow struct {
 	prev    *verRow
 }
 
-// chain is the version chain of one primary key, newest first.
+// chain is the version chain of one primary key, newest first. The
+// head is swapped atomically so concurrent installers (which never
+// share a key) and lock-free readers agree on a fully initialised
+// newest version.
 type chain struct {
-	head *verRow
+	head atomic.Pointer[verRow]
 }
 
 // visibleAt returns the newest version at or below snapshot, or nil.
 func (c *chain) visibleAt(snapshot uint64) *verRow {
-	for v := c.head; v != nil; v = v.prev {
+	for v := c.head.Load(); v != nil; v = v.prev {
 		if v.version <= snapshot {
 			if v.deleted {
 				return nil
@@ -106,13 +126,23 @@ func (ix *secIndex) remove(val any, pk string) {
 
 // table holds one table's schema, row chains, and secondary indexes.
 type table struct {
-	schema  *Schema
-	rows    *btree.Tree          // encoded pk → *chain
-	indexes map[string]*secIndex // index name → index
+	schema *Schema
+	// mu guards the B-tree structures against concurrent installers:
+	// readers traverse rows/indexes under RLock, installers mutate them
+	// under Lock. Serial engine paths additionally hold e.mu exclusively,
+	// which keeps them mutually exclusive with every installer.
+	mu sync.RWMutex
+	// rows maps encoded pk → *chain.
+	// guarded by mu
+	rows *btree.Tree
+	// indexes maps index name → index.
+	// guarded by mu
+	indexes map[string]*secIndex
 	// lastWrite is the newest version that installed an item (write or
 	// tombstone) into this table — the per-table Vt as the engine sees
-	// it, including not-yet-acknowledged refreshes.
-	lastWrite uint64
+	// it, including not-yet-published refreshes. Advanced by max-CAS so
+	// concurrent installers racing on one table converge monotonically.
+	lastWrite atomic.Uint64
 }
 
 // Engine is a multiversion storage engine instance. All methods are
@@ -122,9 +152,11 @@ type Engine struct {
 	// tables maps table name to its rows and indexes.
 	// guarded by mu
 	tables map[string]*table
-	// version is the latest committed version (Vlocal).
-	// guarded by mu
-	version uint64
+	// version is the published commit version (Vlocal): the highest v
+	// such that every version in [1, v] is fully installed and visible.
+	// Serial commits store it directly under e.mu; concurrent appliers
+	// advance it through PublishVersion's max-CAS.
+	version atomic.Uint64
 }
 
 // NewEngine returns an empty engine at version 0.
@@ -169,6 +201,8 @@ func (e *Engine) CreateIndex(tableName string, def IndexDef) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoTable, tableName)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, dup := t.indexes[def.Name]; dup {
 		return fmt.Errorf("storage: index %s already exists on %s", def.Name, tableName)
 	}
@@ -180,7 +214,7 @@ func (e *Engine) CreateIndex(tableName string, def IndexDef) error {
 	it := t.rows.ScanAll()
 	for it.Next() {
 		pk := it.Key()
-		for v := it.Value().(*chain).head; v != nil; v = v.prev {
+		for v := it.Value().(*chain).head.Load(); v != nil; v = v.prev {
 			if !v.deleted {
 				ix.add(v.row[col], pk)
 			}
@@ -213,11 +247,9 @@ func (e *Engine) Tables() []string {
 	return out
 }
 
-// Version returns the engine's latest committed version (Vlocal).
+// Version returns the engine's published commit version (Vlocal).
 func (e *Engine) Version() uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.version
+	return e.version.Load()
 }
 
 // TableVersionsAt returns, for each named table, the newest version
@@ -230,12 +262,13 @@ func (e *Engine) TableVersionsAt(names []string, snapshot uint64) map[string]uin
 	defer e.mu.RUnlock()
 	out := make(map[string]uint64, len(names))
 	for _, n := range names {
-		if t, ok := e.tables[n]; ok && t.lastWrite > 0 {
-			v := t.lastWrite
-			if v > snapshot {
-				v = snapshot
+		if t, ok := e.tables[n]; ok {
+			if v := t.lastWrite.Load(); v > 0 {
+				if v > snapshot {
+					v = snapshot
+				}
+				out[n] = v
 			}
-			out[n] = v
 		}
 	}
 	return out
@@ -247,25 +280,32 @@ func (e *Engine) RowEstimate(tableName string) int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if t, ok := e.tables[tableName]; ok {
-		return t.rows.Len()
+		t.mu.RLock()
+		n := t.rows.Len()
+		t.mu.RUnlock()
+		return n
 	}
 	return 0
 }
 
-// applyItem installs one writeset item at version v. Caller holds e.mu.
-func (e *Engine) applyItem(it *writeset.Item, v uint64) error {
-	t, ok := e.tables[it.Table]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoTable, it.Table)
+// storeMax advances a to v unless a is already at or past v.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
-	var ch *chain
-	if cv, ok := t.rows.Get(it.Key); ok {
-		ch = cv.(*chain)
-	} else {
-		ch = &chain{}
-		t.rows.Set(it.Key, ch)
-	}
-	nv := &verRow{version: v, prev: ch.head}
+}
+
+// installItem installs one writeset item into table t at version v.
+// The B-tree and index mutations serialize under a short t.mu critical
+// section; the version chain is then extended with an atomic head swap.
+// Concurrent installItem calls are safe provided no two share a record
+// and same-record installs are version-ordered — the conflict
+// scheduling the replica's parallel applier enforces.
+func installItem(t *table, it *writeset.Item, v uint64) error {
+	nv := &verRow{version: v}
 	if it.Op == writeset.OpDelete {
 		nv.deleted = true
 	} else {
@@ -273,13 +313,37 @@ func (e *Engine) applyItem(it *writeset.Item, v uint64) error {
 			return err
 		}
 		nv.row = append([]any(nil), it.Row...)
+	}
+	t.mu.Lock()
+	var ch *chain
+	if cv, ok := t.rows.Get(it.Key); ok {
+		ch = cv.(*chain)
+	} else {
+		ch = &chain{}
+		t.rows.Set(it.Key, ch)
+	}
+	if !nv.deleted {
+		// Index entries may precede the chain install: the index is a
+		// value superset and readers re-check visibility on the chain.
 		for _, ix := range t.indexes {
 			ix.add(nv.row[ix.col], it.Key)
 		}
 	}
-	ch.head = nv
-	t.lastWrite = v
+	t.mu.Unlock()
+	nv.prev = ch.head.Load()
+	ch.head.Store(nv)
+	storeMax(&t.lastWrite, v)
 	return nil
+}
+
+// applyItem installs one writeset item at version v. Caller holds e.mu
+// (read or write); the table-level work serializes inside installItem.
+func (e *Engine) applyItem(it *writeset.Item, v uint64) error {
+	t, ok := e.tables[it.Table]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, it.Table)
+	}
+	return installItem(t, it, v)
 }
 
 // ApplyWriteSet commits a writeset at the given version. The version
@@ -289,15 +353,15 @@ func (e *Engine) applyItem(it *writeset.Item, v uint64) error {
 func (e *Engine) ApplyWriteSet(ws *writeset.WriteSet, atVersion uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if atVersion != e.version+1 {
-		return fmt.Errorf("%w: engine at %d, writeset at %d", ErrBadVersion, e.version, atVersion)
+	if v := e.version.Load(); atVersion != v+1 {
+		return fmt.Errorf("%w: engine at %d, writeset at %d", ErrBadVersion, v, atVersion)
 	}
 	for i := range ws.Items {
 		if err := e.applyItem(&ws.Items[i], atVersion); err != nil {
 			return err
 		}
 	}
-	e.version = atVersion
+	e.version.Store(atVersion)
 	return nil
 }
 
@@ -320,20 +384,160 @@ func (e *Engine) ApplyWriteSetBatch(wss []*writeset.WriteSet, startVersion uint6
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if startVersion != e.version+1 {
-		return fmt.Errorf("%w: engine at %d, batch starts at %d", ErrBadVersion, e.version, startVersion)
+	if v := e.version.Load(); startVersion != v+1 {
+		return fmt.Errorf("%w: engine at %d, batch starts at %d", ErrBadVersion, v, startVersion)
 	}
 	for i, ws := range wss {
 		v := startVersion + uint64(i)
 		for j := range ws.Items {
 			if err := e.applyItem(&ws.Items[j], v); err != nil {
-				e.version = v - 1 // durable prefix: everything before the failing writeset
+				e.version.Store(v - 1) // durable prefix: everything before the failing writeset
 				return fmt.Errorf("storage: batch apply at %d: %w", v, err)
 			}
 		}
 	}
-	e.version = startVersion + uint64(len(wss)) - 1
+	e.version.Store(startVersion + uint64(len(wss)) - 1)
 	return nil
+}
+
+// InstallWriteSet installs a writeset's row versions at atVersion
+// without publishing them: readers cannot observe the new versions
+// until PublishVersion raises the watermark to atVersion or beyond.
+// Unlike ApplyWriteSet it holds only a read lock on the engine, so
+// installs proceed concurrently. The caller must guarantee that no two
+// concurrent installs share a record and that installs touching the
+// same record are issued in version order with a happens-before edge
+// between them — the invariants the replica's conflict-aware applier
+// derives from its dependency graph. atVersion must be above the
+// published version (the watermark only ever chases installs).
+func (e *Engine) InstallWriteSet(ws *writeset.WriteSet, atVersion uint64) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if v := e.version.Load(); atVersion <= v {
+		return fmt.Errorf("%w: install at %d behind published %d", ErrBadVersion, atVersion, v)
+	}
+	for i := range ws.Items {
+		if err := e.applyItem(&ws.Items[i], atVersion); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallWriteSets bulk-installs a contiguous run of writesets without
+// publishing: wss[i] installs at atVersion+i. It shares
+// InstallWriteSet's preconditions and adds one: the run must be
+// pairwise record-disjoint (and disjoint from every other concurrent
+// install), because the whole run goes in under one engine read-lock
+// with each table's lock taken once per same-table item run — so this
+// call provides no same-record ordering at all. The replica's parallel
+// applier uses it for batches whose conflict graph has no edges, where
+// per-item locking is pure overhead.
+func (e *Engine) InstallWriteSets(wss []*writeset.WriteSet, atVersion uint64) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if v := e.version.Load(); atVersion <= v {
+		return fmt.Errorf("%w: install at %d behind published %d", ErrBadVersion, atVersion, v)
+	}
+	// pend carries rows prepared outside the table lock (allocation and
+	// schema checks), flushed into the B-tree one same-table run at a
+	// time.
+	type pend struct {
+		it *writeset.Item
+		nv *verRow
+	}
+	nitems, nelems := 0, 0
+	for _, ws := range wss {
+		nitems += len(ws.Items)
+		for j := range ws.Items {
+			if ws.Items[j].Op != writeset.OpDelete {
+				nelems += len(ws.Items[j].Row)
+			}
+		}
+	}
+	// Version rows and their row copies come from two run-sized slabs:
+	// two allocations per call instead of two per item, which is most of
+	// what the refresh-apply hot path allocates. A slab stays reachable
+	// while any one of its rows does (chains point into it), so vacuum
+	// reclaims slab memory at run granularity rather than row
+	// granularity — bounded amplification (a run is at most one
+	// worker-stripe of one apply batch) traded for an allocation rate
+	// the garbage collector no longer dominates.
+	slab := make([]verRow, nitems)
+	rowBuf := make([]any, nelems)
+	var (
+		cur    *table
+		run    = make([]pend, 0, nitems)
+		runMax uint64
+		si     int // next free slab slot; never reset by flush
+	)
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		cur.mu.Lock()
+		for _, p := range run {
+			var ch *chain
+			if cv, ok := cur.rows.Get(p.it.Key); ok {
+				ch = cv.(*chain)
+			} else {
+				ch = &chain{}
+				cur.rows.Set(p.it.Key, ch)
+			}
+			if !p.nv.deleted {
+				for _, ix := range cur.indexes {
+					ix.add(p.nv.row[ix.col], p.it.Key)
+				}
+			}
+			p.nv.prev = ch.head.Load()
+			ch.head.Store(p.nv)
+		}
+		cur.mu.Unlock()
+		storeMax(&cur.lastWrite, runMax)
+		run, runMax = run[:0], 0
+	}
+	for i, ws := range wss {
+		v := atVersion + uint64(i)
+		for j := range ws.Items {
+			it := &ws.Items[j]
+			if cur == nil || cur.schema.Table != it.Table {
+				flush()
+				t, ok := e.tables[it.Table]
+				if !ok {
+					return fmt.Errorf("%w: %s", ErrNoTable, it.Table)
+				}
+				cur = t
+			}
+			nv := &slab[si]
+			si++
+			nv.version = v
+			if it.Op == writeset.OpDelete {
+				nv.deleted = true
+			} else {
+				if err := cur.schema.CheckRow(it.Row); err != nil {
+					return err
+				}
+				nv.row = rowBuf[:len(it.Row):len(it.Row)]
+				copy(nv.row, it.Row)
+				rowBuf = rowBuf[len(it.Row):]
+			}
+			run = append(run, pend{it: it, nv: nv})
+			if v > runMax {
+				runMax = v
+			}
+		}
+	}
+	flush()
+	return nil
+}
+
+// PublishVersion advances the published version (Vlocal) to v; lower
+// or equal publishes are no-ops, so out-of-order watermark
+// announcements from concurrent appliers collapse into a monotonic
+// sequence. The caller must have completed the install of every
+// version in (Version(), v] before publishing v.
+func (e *Engine) PublishVersion(v uint64) {
+	storeMax(&e.version, v)
 }
 
 // AdvanceEmpty advances the version counter without modifying data.
@@ -344,10 +548,10 @@ func (e *Engine) ApplyWriteSetBatch(wss []*writeset.WriteSet, startVersion uint6
 func (e *Engine) AdvanceEmpty(atVersion uint64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if atVersion != e.version+1 {
-		return fmt.Errorf("%w: engine at %d, advance to %d", ErrBadVersion, e.version, atVersion)
+	if v := e.version.Load(); atVersion != v+1 {
+		return fmt.Errorf("%w: engine at %d, advance to %d", ErrBadVersion, v, atVersion)
 	}
-	e.version = atVersion
+	e.version.Store(atVersion)
 	return nil
 }
 
@@ -360,6 +564,7 @@ func (e *Engine) Vacuum(keepVersion uint64) int {
 	defer e.mu.Unlock()
 	removed := 0
 	for _, t := range e.tables {
+		t.mu.Lock()
 		var drop []string
 		it := t.rows.ScanAll()
 		for it.Next() {
@@ -368,7 +573,7 @@ func (e *Engine) Vacuum(keepVersion uint64) int {
 			// Find the newest version at or below keepVersion: it is
 			// the oldest version any live snapshot can still see.
 			var keep *verRow
-			for v := ch.head; v != nil; v = v.prev {
+			for v := ch.head.Load(); v != nil; v = v.prev {
 				if v.version <= keepVersion {
 					keep = v
 					break
@@ -386,7 +591,7 @@ func (e *Engine) Vacuum(keepVersion uint64) int {
 				}
 			}
 			keep.prev = nil
-			if keep.deleted && keep == ch.head {
+			if keep.deleted && keep == ch.head.Load() {
 				removed++
 				drop = append(drop, pk)
 			}
@@ -394,6 +599,7 @@ func (e *Engine) Vacuum(keepVersion uint64) int {
 		for _, pk := range drop {
 			t.rows.Delete(pk)
 		}
+		t.mu.Unlock()
 	}
 	return removed
 }

@@ -38,18 +38,13 @@ type writeRef struct {
 
 // Begin starts a transaction reading the engine's latest snapshot.
 func (e *Engine) Begin() *Txn {
-	e.mu.RLock()
-	v := e.version
-	e.mu.RUnlock()
-	return e.beginAt(v)
+	return e.beginAt(e.version.Load())
 }
 
 // BeginAt starts a transaction reading the snapshot at version v,
 // which must not exceed the engine's current version.
 func (e *Engine) BeginAt(v uint64) (*Txn, error) {
-	e.mu.RLock()
-	cur := e.version
-	e.mu.RUnlock()
+	cur := e.version.Load()
 	if v > cur {
 		return nil, fmt.Errorf("storage: snapshot %d ahead of engine version %d", v, cur)
 	}
@@ -98,7 +93,9 @@ func (t *Txn) committedAt(table, key string) ([]any, bool, error) {
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %s", ErrNoTable, table)
 	}
+	tb.mu.RLock()
 	cv, ok := tb.rows.Get(key)
+	tb.mu.RUnlock()
 	if !ok {
 		return nil, false, nil
 	}
@@ -256,6 +253,7 @@ func (t *Txn) ScanRange(table, lo, hi string) ([]KV, error) {
 		t.e.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, table)
 	}
+	tb.mu.RLock()
 	it := tb.rows.Scan(lo, hi)
 	for it.Next() {
 		key := it.Key()
@@ -266,6 +264,7 @@ func (t *Txn) ScanRange(table, lo, hi string) ([]KV, error) {
 			out = append(out, KV{Key: key, Row: append([]any(nil), vr.row...)})
 		}
 	}
+	tb.mu.RUnlock()
 	t.e.mu.RUnlock()
 
 	// Overlay this transaction's own writes in the range.
@@ -306,8 +305,10 @@ func (t *Txn) ScanIndexEq(table, index string, val any) ([]KV, error) {
 		t.e.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoTable, table)
 	}
+	tb.mu.RLock()
 	ix, ok := tb.indexes[index]
 	if !ok {
+		tb.mu.RUnlock()
 		t.e.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoIndex, index, table)
 	}
@@ -329,6 +330,7 @@ func (t *Txn) ScanIndexEq(table, index string, val any) ([]KV, error) {
 			out = append(out, KV{Key: pk, Row: append([]any(nil), vr.row...)})
 		}
 	}
+	tb.mu.RUnlock()
 	t.e.mu.RUnlock()
 
 	if m := t.writes[table]; len(m) > 0 {
@@ -392,10 +394,11 @@ func (t *Txn) CommitLocal() (uint64, error) {
 	t.e.mu.Lock()
 	defer t.e.mu.Unlock()
 	if ws.Empty() {
-		return t.e.version, nil
+		return t.e.version.Load(), nil
 	}
 	// First committer wins: if any written record changed after our
-	// snapshot, abort.
+	// snapshot, abort. The exclusive e.mu excludes every installer, so
+	// the plain tree reads here are race-free.
 	for i := range ws.Items {
 		it := &ws.Items[i]
 		tb, ok := t.e.tables[it.Table]
@@ -403,17 +406,17 @@ func (t *Txn) CommitLocal() (uint64, error) {
 			return 0, fmt.Errorf("%w: %s", ErrNoTable, it.Table)
 		}
 		if cv, ok := tb.rows.Get(it.Key); ok {
-			if head := cv.(*chain).head; head != nil && head.version > t.snapshot {
+			if head := cv.(*chain).head.Load(); head != nil && head.version > t.snapshot {
 				return 0, fmt.Errorf("%w: %s[%q]", ErrConflict, it.Table, it.Key)
 			}
 		}
 	}
-	v := t.e.version + 1
+	v := t.e.version.Load() + 1
 	for i := range ws.Items {
 		if err := t.e.applyItem(&ws.Items[i], v); err != nil {
 			return 0, err
 		}
 	}
-	t.e.version = v
+	t.e.version.Store(v)
 	return v, nil
 }

@@ -10,17 +10,25 @@ import (
 
 // BenchmarkWireRefreshStream measures end-to-end refresh delivery over
 // a real TCP subscription link: certify on the server side, consume
-// the replica-side queue. The cost per refresh reflects the frame
-// batching (one gob frame per mailbox Take, never per refresh) and the
-// pooled encode buffers on the server's write path.
+// the replica-side queue — once per stream codec. The gob number
+// reflects the frame batching (one frame per mailbox Take, never per
+// refresh) and the pooled encode buffers; the binary number adds the
+// zero-copy length-prefixed codec the subscription negotiates by
+// default.
 func BenchmarkWireRefreshStream(b *testing.B) {
+	for _, codec := range []string{RefreshCodecGob, RefreshCodecBinary} {
+		b.Run(codec, func(b *testing.B) { benchRefreshStream(b, codec) })
+	}
+}
+
+func benchRefreshStream(b *testing.B, codec string) {
 	cert := certifier.New()
 	srv, err := ServeCertifier(cert, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	cli := DialCertifier(srv.Addr(), 1, 0)
+	cli := DialCertifier(srv.Addr(), 1, 0, WithRefreshCodec(codec))
 	defer cli.Close()
 	q := cli.Subscribe(1)
 
@@ -42,7 +50,11 @@ func BenchmarkWireRefreshStream(b *testing.B) {
 	b.ResetTimer()
 	go func() {
 		defer close(done)
-		var seen uint64
+		// Trim consumed history as a deployed replica's apply watermark
+		// would: without it the certifier retains all b.N refreshes and
+		// the run measures GC scan work over an ever-growing log — a cost
+		// that scales with iteration count, not with the codec under test.
+		var seen, trimmed uint64
 		for seen < last {
 			batch, ok := q.Take()
 			if !ok {
@@ -52,6 +64,10 @@ func BenchmarkWireRefreshStream(b *testing.B) {
 				if batch[i].Version > seen {
 					seen = batch[i].Version
 				}
+			}
+			if seen-trimmed >= 4096 {
+				cert.TrimBelow(seen)
+				trimmed = seen
 			}
 		}
 	}()

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -23,6 +24,12 @@ type certHello struct {
 	Kind      string // "sub" or "req"
 	ReplicaID int
 	VLocal    uint64 // replica's durable version, for StartAt adoption
+	// Codec is the refresh-stream codec the subscriber offers (empty =
+	// gob). A server that understands the offer accepts it by making its
+	// first stream frame a gob refreshBatch{Codec: ...} marker; gob
+	// skips unknown fields in both directions, so legacy peers on
+	// either side silently keep the gob stream.
+	Codec string
 }
 
 // certRequest is the request envelope on "req" connections; exactly
@@ -68,6 +75,12 @@ func (r *certResponse) seq() uint64    { return r.Seq }
 // refreshBatch is pushed on "sub" connections.
 type refreshBatch struct {
 	Refreshes []certifier.Refresh
+	// Codec, on the first frame of a stream only, accepts the
+	// subscriber's offered codec: every subsequent frame on this
+	// connection is in that codec (binary length-prefixed frames for
+	// codecBinary), not gob. Empty on legacy servers, which keeps the
+	// whole stream gob.
+	Codec string
 }
 
 // CertServer exposes a certifier on a TCP listener.
@@ -196,7 +209,7 @@ func (s *CertServer) handle(c net.Conn) {
 	s.maybeAdopt(hello)
 	switch hello.Kind {
 	case "sub":
-		s.streamRefreshes(c, fw, hello.ReplicaID)
+		s.streamRefreshes(c, fw, hello)
 	case "req":
 		s.serveRequests(c, dec, fw)
 	}
@@ -221,7 +234,8 @@ func (s *CertServer) maybeAdopt(h certHello) {
 // per Take batch — never per refresh. The mailbox coalesces bursts, so
 // a backlogged replica receives a few large frames instead of a frame
 // per committed transaction.
-func (s *CertServer) streamRefreshes(c net.Conn, fw *frameWriter, replicaID int) {
+func (s *CertServer) streamRefreshes(c net.Conn, fw *frameWriter, hello certHello) {
+	replicaID := hello.ReplicaID
 	s.mu.Lock()
 	s.streamGen[replicaID]++
 	gen := s.streamGen[replicaID]
@@ -231,6 +245,19 @@ func (s *CertServer) streamRefreshes(c net.Conn, fw *frameWriter, replicaID int)
 	// The stream only writes; reads would block forever, so drop the
 	// hello deadline.
 	c.SetReadDeadline(time.Time{})
+	// Codec negotiation: accept exactly the binary token (anything else
+	// — including future codecs this build predates — degrades to gob).
+	// The accept marker is itself a gob frame, so a modern client that
+	// reached a legacy server simply never sees one.
+	binFrames := hello.Codec == codecBinary
+	if binFrames {
+		if d := s.opts.to.Call; d > 0 {
+			c.SetWriteDeadline(time.Now().Add(d))
+		}
+		if err := fw.encode(refreshBatch{Codec: codecBinary}); err != nil {
+			return
+		}
+	}
 	for {
 		batch, ok := sub.Take()
 		if !ok {
@@ -239,7 +266,13 @@ func (s *CertServer) streamRefreshes(c net.Conn, fw *frameWriter, replicaID int)
 		if d := s.opts.to.Call; d > 0 {
 			c.SetWriteDeadline(time.Now().Add(d))
 		}
-		if err := fw.encode(refreshBatch{Refreshes: batch}); err != nil {
+		var err error
+		if binFrames {
+			err = writeRefreshFrame(fw.bw, batch)
+		} else {
+			err = fw.encode(refreshBatch{Refreshes: batch})
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -562,7 +595,11 @@ func (c *CertClient) runStream(gen int, q *refreshQueue) bool {
 	if d := c.opts.to.Call; d > 0 {
 		conn.SetWriteDeadline(time.Now().Add(d))
 	}
-	if err := enc.Encode(certHello{Kind: "sub", ReplicaID: c.replicaID, VLocal: from}); err != nil {
+	hello := certHello{Kind: "sub", ReplicaID: c.replicaID, VLocal: from}
+	if c.opts.refreshCodec != RefreshCodecGob {
+		hello.Codec = codecBinary
+	}
+	if err := enc.Encode(hello); err != nil {
 		return false
 	}
 	conn.SetWriteDeadline(time.Time{})
@@ -591,19 +628,44 @@ func (c *CertClient) runStream(gen int, q *refreshQueue) bool {
 
 	c.streamUp.Store(true)
 	defer c.streamDown()
-	dec := gob.NewDecoder(conn)
+	// One bufio reader feeds both the gob decoder and the binary frame
+	// reader: gob given an io.ByteReader reads exactly one message per
+	// Decode (no lookahead buffering of its own), so after the accept
+	// marker the binary frames start at the reader's current position.
+	br := bufio.NewReader(conn)
+	dec := gob.NewDecoder(br)
+	binFrames, first := false, true
 	for {
 		if d := c.opts.to.Idle; d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
 		}
-		var batch refreshBatch
-		if err := dec.Decode(&batch); err != nil {
-			return true
+		var batch []certifier.Refresh
+		if binFrames {
+			b, err := readRefreshFrame(br)
+			if err != nil {
+				return true
+			}
+			batch = b
+		} else {
+			var fr refreshBatch
+			if err := dec.Decode(&fr); err != nil {
+				return true
+			}
+			if first && fr.Codec == codecBinary {
+				// The server accepted the binary offer; every following
+				// frame on this connection is binary. A legacy server
+				// never sets Codec, leaving the stream on gob.
+				binFrames = true
+			}
+			batch = fr.Refreshes
 		}
+		first = false
 		if !c.subscribed(gen) {
 			return true
 		}
-		q.push(batch.Refreshes)
+		if len(batch) > 0 {
+			q.push(batch)
+		}
 	}
 }
 

@@ -63,12 +63,13 @@ func (b Backoff) next(d time.Duration) time.Duration {
 
 // options collects the knobs shared across wire constructors.
 type options struct {
-	dialFor  func(addr string) Dialer
-	to       Timeouts
-	backoff  Backoff
-	subLease time.Duration
-	gate     func() error
-	vlocalFn func() uint64
+	dialFor      func(addr string) Dialer
+	to           Timeouts
+	backoff      Backoff
+	subLease     time.Duration
+	gate         func() error
+	vlocalFn     func() uint64
+	refreshCodec string
 }
 
 // Option configures a wire endpoint.
@@ -122,6 +123,25 @@ func WithGate(g func() error) Option {
 // durable version, used to backfill missed refreshes on reconnect.
 func WithVLocal(f func() uint64) Option {
 	return func(o *options) { o.vlocalFn = f }
+}
+
+// Refresh-stream codec names for WithRefreshCodec.
+const (
+	// RefreshCodecBinary offers the length-prefixed binary refresh
+	// codec (the default): a server that understands it switches the
+	// stream to binary frames, a legacy server silently keeps gob.
+	RefreshCodecBinary = "binary"
+	// RefreshCodecGob pins the stream to gob, skipping negotiation.
+	RefreshCodecGob = "gob"
+)
+
+// WithRefreshCodec selects the refresh-stream codec a certifier client
+// offers (CertClient). The default, RefreshCodecBinary, negotiates the
+// zero-copy binary codec with servers that support it and falls back
+// to gob against older ones; RefreshCodecGob forces the legacy stream,
+// the escape hatch for mixed-version debugging.
+func WithRefreshCodec(name string) Option {
+	return func(o *options) { o.refreshCodec = name }
 }
 
 const defaultSubLease = 10 * time.Second

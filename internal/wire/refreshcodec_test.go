@@ -1,0 +1,379 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/obs/dtrace"
+	"sconrep/internal/writeset"
+)
+
+// codecBatch exercises every shape the codec must carry: all five row
+// value types, nil rows (deletes), empty strings, an empty writeset, a
+// recovery-replay origin (-1), and a traced writeset.
+func codecBatch() []certifier.Refresh {
+	sc := &dtrace.SpanContext{}
+	sc.Trace[0], sc.Trace[15] = 0xab, 0xcd
+	sc.Span[3] = 0xef
+	return []certifier.Refresh{
+		{TxnID: 1, Version: 10, Origin: 0, WS: &writeset.WriteSet{Items: []writeset.Item{
+			{Table: "kv", Key: "k1", Op: writeset.OpUpdate, Row: []any{int64(-7), "hello", float64(3.25), true, false, nil}},
+			{Table: "kv", Key: "", Op: writeset.OpInsert, Row: []any{""}},
+		}}},
+		{TxnID: 2, Version: 11, Origin: -1, WS: &writeset.WriteSet{Items: []writeset.Item{
+			{Table: "orders", Key: "o9", Op: writeset.OpDelete}, // nil row
+		}}},
+		{TxnID: 3, Version: 12, Origin: 2, WS: &writeset.WriteSet{}},
+		{TxnID: 4, Version: 13, Origin: 1, WS: &writeset.WriteSet{
+			Trace: sc,
+			Items: []writeset.Item{{Table: "t", Key: "x", Op: writeset.OpUpdate, Row: []any{}}},
+		}},
+	}
+}
+
+func TestRefreshCodecRoundTrip(t *testing.T) {
+	batch := codecBatch()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeRefreshFrame(bw, batch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readRefreshFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, batch)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after one frame", buf.Len())
+	}
+}
+
+// TestRefreshCodecMatchesGob pins the binary codec to gob's semantics:
+// the same batch decoded from either codec is identical, so a replica
+// behaves the same whichever stream the negotiation landed on.
+func TestRefreshCodecMatchesGob(t *testing.T) {
+	batch := codecBatch()
+
+	var gb bytes.Buffer
+	if err := gob.NewEncoder(&gb).Encode(refreshBatch{Refreshes: batch}); err != nil {
+		t.Fatal(err)
+	}
+	var viaGob refreshBatch
+	if err := gob.NewDecoder(&gb).Decode(&viaGob); err != nil {
+		t.Fatal(err)
+	}
+
+	var bb bytes.Buffer
+	bw := bufio.NewWriter(&bb)
+	if err := writeRefreshFrame(bw, batch); err != nil {
+		t.Fatal(err)
+	}
+	viaBin, err := readRefreshFrame(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gob decodes zero-length non-nil slices back as nil; normalize that
+	// one representational difference before comparing.
+	for i := range viaBin {
+		if ws := viaBin[i].WS; ws != nil && len(ws.Items) == 0 {
+			ws.Items = nil
+		}
+		if ws := viaBin[i].WS; ws != nil {
+			for j := range ws.Items {
+				if ws.Items[j].Row != nil && len(ws.Items[j].Row) == 0 {
+					ws.Items[j].Row = nil
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(viaBin, viaGob.Refreshes) {
+		t.Fatalf("codecs disagree:\n bin %+v\n gob %+v", viaBin, viaGob.Refreshes)
+	}
+}
+
+func TestRefreshCodecTruncatedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeRefreshFrame(bw, codecBatch()); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for n := 0; n < len(frame); n++ {
+		if _, err := readRefreshFrame(bytes.NewReader(frame[:n])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded cleanly", n, len(frame))
+		}
+	}
+}
+
+func TestRefreshCodecCorruptRejected(t *testing.T) {
+	// A length prefix beyond the frame limit is refused before any
+	// allocation.
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], maxRefreshFrame+1)
+	if _, err := readRefreshFrame(bytes.NewReader(huge[:])); err == nil {
+		t.Fatal("oversize length prefix accepted")
+	}
+
+	// Payload-level corruption: unknown flags, bad op, bad value tag,
+	// counts beyond the payload, trailing garbage.
+	bad := [][]byte{
+		{0x01, 0x01, 0x01, 0x00, 0xff},       // unknown flag bits
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0x02}, // count > remaining
+	}
+	valid, err := appendRefreshPayload(nil, codecBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = append(bad, append(append([]byte{}, valid...), 0x00)) // trailing garbage
+	tamperOp := append([]byte{}, valid...)
+	tamperOp[bytes.IndexByte(tamperOp, byte(writeset.OpUpdate))] = 0x7f
+	bad = append(bad, tamperOp)
+	for i, p := range bad {
+		if _, err := parseRefreshPayload(p); err == nil {
+			t.Fatalf("corrupt payload %d decoded cleanly", i)
+		}
+	}
+}
+
+// certifyN pushes n single-item committed updates through cert.
+func certifyN(t testing.TB, cert *certifier.Certifier, n int) {
+	t.Helper()
+	ws := &writeset.WriteSet{Items: []writeset.Item{
+		{Table: "t", Key: "hot", Op: writeset.OpUpdate, Row: []any{"x"}},
+	}}
+	for i := 0; i < n; i++ {
+		d, err := cert.Certify(0, uint64(i+1), uint64(i), ws)
+		if err != nil || !d.Commit {
+			t.Fatalf("certify %d: commit=%v err=%v", i+1, d.Commit, err)
+		}
+	}
+}
+
+// TestRefreshStreamBinaryNegotiated drives the server's accept path
+// with a hand-rolled subscriber: offer the binary codec in the hello,
+// require the gob marker frame, then consume raw binary frames.
+func TestRefreshStreamBinaryNegotiated(t *testing.T) {
+	cert := certifier.New()
+	srv, err := ServeCertifier(cert, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(certHello{Kind: "sub", ReplicaID: 7, Codec: codecBinary}); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	dec := gob.NewDecoder(br)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var marker refreshBatch
+	if err := dec.Decode(&marker); err != nil {
+		t.Fatal(err)
+	}
+	if marker.Codec != codecBinary || len(marker.Refreshes) != 0 {
+		t.Fatalf("accept marker = %+v", marker)
+	}
+
+	certifyN(t, cert, 5)
+	var seen uint64
+	for seen < 5 {
+		batch, err := readRefreshFrame(br)
+		if err != nil {
+			t.Fatalf("binary frame after %d refreshes: %v", seen, err)
+		}
+		for i := range batch {
+			if batch[i].Version != seen+1 {
+				t.Fatalf("version %d out of order (want %d)", batch[i].Version, seen+1)
+			}
+			seen = batch[i].Version
+			if got := batch[i].WS.Items[0].Row[0]; got != "x" {
+				t.Fatalf("row value = %v", got)
+			}
+		}
+	}
+}
+
+// legacyCertHello / legacyRefreshBatch are the pre-codec frame shapes,
+// exactly as a peer built before this change would use them.
+type legacyCertHello struct {
+	Kind      string
+	ReplicaID int
+	VLocal    uint64
+}
+
+type legacyRefreshBatch struct {
+	Refreshes []certifier.Refresh
+}
+
+// TestRefreshStreamLegacyClient proves a pre-codec subscriber against a
+// modern server stays on gob: no Codec offer means no marker frame and
+// plain gob batches.
+func TestRefreshStreamLegacyClient(t *testing.T) {
+	cert := certifier.New()
+	srv, err := ServeCertifier(cert, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(legacyCertHello{Kind: "sub", ReplicaID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Refreshes flow only to live subscriptions; wait until the server
+	// has processed the hello before certifying.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(cert.Replicas()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never subscribed the legacy client")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	certifyN(t, cert, 3)
+	dec := gob.NewDecoder(conn)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var seen uint64
+	for seen < 3 {
+		var batch legacyRefreshBatch
+		if err := dec.Decode(&batch); err != nil {
+			t.Fatalf("gob frame after %d refreshes: %v", seen, err)
+		}
+		for i := range batch.Refreshes {
+			seen = batch.Refreshes[i].Version
+		}
+	}
+}
+
+// TestRefreshStreamLegacyServer proves a modern client against a
+// pre-codec server falls back to gob: the server skips the unknown
+// Codec hello field, streams legacy frames, and the client consumes
+// them because no accept marker ever arrives.
+func TestRefreshStreamLegacyServer(t *testing.T) {
+	cert := certifier.New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				dec, enc := gob.NewDecoder(c), gob.NewEncoder(c)
+				var hello legacyCertHello
+				if dec.Decode(&hello) != nil {
+					return
+				}
+				switch hello.Kind {
+				case "req":
+					for {
+						var req certRequest
+						if dec.Decode(&req) != nil {
+							return
+						}
+						resp := certResponse{Seq: req.Seq}
+						switch req.Op {
+						case "version":
+							resp.Version = cert.Version()
+						case "history":
+							resp.History = cert.History(req.After)
+						}
+						if enc.Encode(&resp) != nil {
+							return
+						}
+					}
+				case "sub":
+					sub := cert.Subscribe(hello.ReplicaID)
+					defer sub.Cancel()
+					for {
+						batch, ok := sub.Take()
+						if !ok {
+							return
+						}
+						if enc.Encode(legacyRefreshBatch{Refreshes: batch}) != nil {
+							return
+						}
+					}
+				}
+			}(c)
+		}
+	}()
+
+	cli := DialCertifier(ln.Addr().String(), 1, 0) // default: offers binary
+	defer cli.Close()
+	q := cli.Subscribe(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for !cli.StreamLive(0) || len(cert.Replicas()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never came up against legacy server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	certifyN(t, cert, 4)
+	var seen uint64
+	for seen < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled at version %d", seen)
+		}
+		batch, ok := q.Take()
+		if !ok {
+			t.Fatal("queue closed")
+		}
+		for i := range batch {
+			seen = batch[i].Version
+		}
+	}
+}
+
+// FuzzRefreshCodec feeds arbitrary bytes to the payload parser: it must
+// never panic, and anything it accepts must round-trip through the
+// encoder unchanged (the parse→encode→parse fixed point).
+func FuzzRefreshCodec(f *testing.F) {
+	seed, err := appendRefreshPayload(nil, codecBatch())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x00, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := parseRefreshPayload(data)
+		if err != nil {
+			return
+		}
+		enc, err := appendRefreshPayload(nil, batch)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		again, err := parseRefreshPayload(enc)
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(batch, again) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", again, batch)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package writeset
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func wsk(keys ...string) *WriteSet {
+	w := &WriteSet{}
+	for _, k := range keys {
+		w.Items = append(w.Items, Item{Table: "t", Key: k, Op: OpUpdate, Row: []any{k}})
+	}
+	return w
+}
+
+func TestConflictGraphIndependent(t *testing.T) {
+	g := NewConflictGraph([]*WriteSet{wsk("a"), wsk("b"), wsk("c")})
+	if g.CriticalPath != 1 || g.Edges != 0 {
+		t.Fatalf("CriticalPath = %d, Edges = %d, want 1, 0", g.CriticalPath, g.Edges)
+	}
+	// Edge-free graphs don't allocate the adjacency state at all.
+	if g.Deps != nil || g.Succs != nil {
+		t.Fatalf("independent run allocated adjacency: Deps=%v Succs=%v", g.Deps, g.Succs)
+	}
+}
+
+func TestConflictGraphPureChain(t *testing.T) {
+	g := NewConflictGraph([]*WriteSet{wsk("a"), wsk("a"), wsk("a"), wsk("a")})
+	if g.CriticalPath != 4 {
+		t.Fatalf("CriticalPath = %d, want 4 (pure chain)", g.CriticalPath)
+	}
+	// Each writeset depends only on its immediate predecessor: the edge
+	// to older writers is transitively implied, not materialized.
+	if !reflect.DeepEqual(g.Deps, []int{0, 1, 1, 1}) {
+		t.Fatalf("Deps = %v", g.Deps)
+	}
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(g.Succs[i], []int{i + 1}) {
+			t.Fatalf("Succs[%d] = %v, want [%d]", i, g.Succs[i], i+1)
+		}
+	}
+}
+
+func TestConflictGraphDiamond(t *testing.T) {
+	// 0 writes a and b; 1 touches a, 2 touches b (both depend on 0 only);
+	// 3 touches a and b and must wait for both 1 and 2 — but not 0,
+	// whose edges are shadowed by the later writers.
+	g := NewConflictGraph([]*WriteSet{wsk("a", "b"), wsk("a"), wsk("b"), wsk("a", "b")})
+	if g.CriticalPath != 3 {
+		t.Fatalf("CriticalPath = %d, want 3", g.CriticalPath)
+	}
+	if !reflect.DeepEqual(g.Deps, []int{0, 1, 1, 2}) {
+		t.Fatalf("Deps = %v", g.Deps)
+	}
+	if !reflect.DeepEqual(g.Succs[0], []int{1, 2}) {
+		t.Fatalf("Succs[0] = %v, want [1 2]", g.Succs[0])
+	}
+	if !reflect.DeepEqual(g.Succs[3], []int(nil)) {
+		t.Fatalf("Succs[3] = %v, want empty", g.Succs[3])
+	}
+}
+
+func TestConflictGraphSelfDuplicateRecord(t *testing.T) {
+	// A writeset listing the same record twice must not self-edge.
+	g := NewConflictGraph([]*WriteSet{wsk("a", "a")})
+	if g.Edges != 0 || g.CriticalPath != 1 {
+		t.Fatalf("self-edge: Edges=%d CriticalPath=%d", g.Edges, g.CriticalPath)
+	}
+}
+
+func TestConflictGraphCrossTable(t *testing.T) {
+	// Same key string in different tables is not a conflict.
+	a := &WriteSet{Items: []Item{{Table: "x", Key: "k", Op: OpUpdate, Row: []any{1}}}}
+	b := &WriteSet{Items: []Item{{Table: "y", Key: "k", Op: OpUpdate, Row: []any{2}}}}
+	g := NewConflictGraph([]*WriteSet{a, b})
+	if g.CriticalPath != 1 || g.Edges != 0 {
+		t.Fatalf("cross-table keys conflated: Edges=%d", g.Edges)
+	}
+}
+
+// TestConflictGraphMatchesConflictsWith cross-checks the graph's edge
+// predicate against the reference pairwise ConflictsWith over a mixed
+// run: j transitively depends on i iff some record path connects them.
+func TestConflictGraphMatchesConflictsWith(t *testing.T) {
+	run := []*WriteSet{
+		wsk("a"), wsk("b", "c"), wsk("a", "d"), wsk("e"), wsk("c", "e"), wsk("f"),
+	}
+	g := NewConflictGraph(run)
+	// Expand transitive reachability from the direct edges.
+	n := len(run)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for _, s := range g.Succs[i] {
+			reach[i][s] = true
+			for k := 0; k < n; k++ {
+				if reach[s][k] {
+					reach[i][k] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if run[i].ConflictsWith(run[j]) && !reach[i][j] {
+				t.Errorf("wss[%d] conflicts with wss[%d] but graph has no path", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkNewConflictGraph(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		mk   func(i int) *WriteSet
+	}{
+		{"independent", func(i int) *WriteSet { return wsk(fmt.Sprintf("k%d", i)) }},
+		{"chain", func(i int) *WriteSet { return wsk("hot") }},
+	} {
+		b.Run(shape.name, func(b *testing.B) {
+			run := make([]*WriteSet, 64)
+			for i := range run {
+				run[i] = shape.mk(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NewConflictGraph(run)
+			}
+		})
+	}
+}
