@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint ci chaos bench bench-hotpath fuzz-smoke sweep examples clean
+.PHONY: all build test race vet lint ci chaos recovery bench bench-hotpath fuzz-smoke sweep examples clean
 
 # Pinned external linter versions (CI installs these; locally they run
 # only when already on PATH — the build never downloads tools).
@@ -59,6 +59,14 @@ ci:
 chaos:
 	SCONREP_CHAOS_SEEDS=8 $(GO) test -race -run TestChaos -count=1 -timeout 20m ./internal/cluster/
 
+# Crash-recovery chaos: durable replicas kill -9'd mid-apply, mid-
+# checkpoint, and with a torn WAL tail, restarted from disk under
+# fault-injected TPC-W, oracle-checked and byte-compared against a
+# never-crashed peer in all four modes. Replay a failing seed with:
+#   SCONREP_CHAOS_SEED=<s> $(GO) test -race -run TestCrashRecoveryChaos ./internal/cluster/
+recovery:
+	SCONREP_CHAOS_SEEDS=8 $(GO) test -race -run TestCrashRecovery -count=1 -timeout 20m ./internal/cluster/
+
 # Smoke-sized benchmarks: one per paper table/figure, plus module
 # micro-benchmarks.
 bench:
@@ -66,29 +74,34 @@ bench:
 
 # Hot-path benchmarks: group-applied refresh batches (serial, parallel
 # conflict-aware, fully-conflicting fallback) vs the seed's
-# per-writeset path, the 100k-entry History lookup, and refresh
-# streaming over a real TCP link in both stream codecs (gob and the
-# negotiated binary one). Results land in BENCH_hotpath.json
-# (committed, so before/after numbers travel with the code); benchjson
-# -require fails the run if any expected benchmark went missing.
-# Override BENCHTIME for quicker smoke runs (CI uses 100ms).
+# per-writeset path, the 100k-entry History lookup, refresh streaming
+# over a real TCP link in both stream codecs (gob and the negotiated
+# binary one), and disk restart (checkpoint restore + WAL replay vs
+# full history replay). Results land in BENCH_hotpath.json (committed,
+# so before/after numbers travel with the code); benchjson -require
+# fails the run if any expected benchmark went missing. Override
+# BENCHTIME for quicker smoke runs (CI uses 100ms).
 BENCHTIME ?= 1s
-HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkHistoryLookup|BenchmarkWireRefreshStream|BenchmarkTraceOverhead
-HOTPATH_REQUIRE = BenchmarkRefreshApply/batched,BenchmarkRefreshApply/parallel,BenchmarkRefreshApply/conflicting,BenchmarkRefreshApply/perwriteset,BenchmarkHistoryLookup/tail,BenchmarkWireRefreshStream/gob,BenchmarkWireRefreshStream/binary,BenchmarkTraceOverhead/disabled,BenchmarkTraceOverhead/enabled
+HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkHistoryLookup|BenchmarkWireRefreshStream|BenchmarkTraceOverhead|BenchmarkRecovery
+HOTPATH_REQUIRE = BenchmarkRefreshApply/batched,BenchmarkRefreshApply/parallel,BenchmarkRefreshApply/conflicting,BenchmarkRefreshApply/perwriteset,BenchmarkHistoryLookup/tail,BenchmarkWireRefreshStream/gob,BenchmarkWireRefreshStream/binary,BenchmarkTraceOverhead/disabled,BenchmarkTraceOverhead/enabled,BenchmarkRecovery/restore,BenchmarkRecovery/fullhistory
 bench-hotpath:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem -benchtime $(BENCHTIME) \
-		./internal/replica/ ./internal/certifier/ ./internal/wire/ \
+		./internal/replica/ ./internal/certifier/ ./internal/wire/ ./internal/pstore/ \
 		| tee bench_output.txt
 	$(GO) run ./cmd/benchjson -require '$(HOTPATH_REQUIRE)' < bench_output.txt > BENCH_hotpath.json
 	@rm -f bench_output.txt
 	@echo "wrote BENCH_hotpath.json"
 
-# Fuzz smoke: the binary refresh codec's fuzz target, long enough to
-# shake out parser regressions without stalling CI. Override FUZZTIME
-# for longer local runs.
+# Fuzz smoke: the three parsers that face bytes off disk or the wire —
+# the binary refresh codec, WAL frame replay (torn tails and bit rot),
+# and checkpoint snapshot load — each long enough to shake out parser
+# regressions without stalling CI. Override FUZZTIME for longer local
+# runs.
 FUZZTIME ?= 15s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRefreshCodec -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointLoad -fuzztime $(FUZZTIME) ./internal/pstore/
 
 # Full evaluation sweep (regenerates every figure; ~15 minutes).
 sweep:

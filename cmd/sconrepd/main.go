@@ -29,6 +29,7 @@ import (
 	"sconrep/internal/core"
 	"sconrep/internal/obs"
 	"sconrep/internal/obs/dtrace"
+	"sconrep/internal/pstore"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
@@ -44,6 +45,8 @@ func main() {
 	replicasFlag := flag.String("replicas", "", "comma-separated replica addresses (gateway role)")
 	modeFlag := flag.String("mode", "CSC", "consistency mode (gateway role)")
 	bootstrap := flag.String("bootstrap", "", "SQL bootstrap file (replica role)")
+	dataDir := flag.String("data-dir", "", "replica role: durable storage directory (WAL + fuzzy checkpoints); empty runs in memory and rebuilds from the certifier's history on restart")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "replica role: logged versions between automatic fuzzy checkpoints (0 = default; needs -data-dir)")
 	walPath := flag.String("wal", "", "decision log path (certifier role)")
 	connect := flag.String("connect", "", "gateway address (client role)")
 	session := flag.String("session", "cli", "session id (client role)")
@@ -70,7 +73,7 @@ func main() {
 	case "certifier":
 		runCertifier(*listen, *walPath, *eager, *obsAddr, append(wireOpts, wire.WithSubLease(*subLease)))
 	case "replica":
-		runReplica(*listen, *id, *certAddr, *bootstrap, *obsAddr, *obsMaxLag, *streamGrace, *applyWorkers, *maxApplyBatch, wireOpts)
+		runReplica(*listen, *id, *certAddr, *bootstrap, *dataDir, *checkpointEvery, *obsAddr, *obsMaxLag, *streamGrace, *applyWorkers, *maxApplyBatch, wireOpts)
 	case "gateway":
 		runGateway(*listen, *modeFlag, *replicasFlag, *obsAddr, wireOpts)
 	case "client":
@@ -93,8 +96,21 @@ func serveObs(addr, role string, o obs.Options) {
 func runCertifier(listen, walPath string, eager bool, obsAddr string, wireOpts []wire.Option) {
 	var opts []certifier.Option
 	if walPath != "" {
-		// Recover prior decisions, then append to the same log.
+		// Recover prior decisions, then append to the same log. A crash
+		// can leave a torn final frame; replay reports the valid prefix
+		// and we truncate to it so the reopened log appends cleanly
+		// instead of burying new records behind garbage.
 		fresh := certifier.New()
+		valid, err := wal.ReplayFileN(walPath, func(*wal.Record) error { return nil })
+		if err != nil {
+			log.Fatalf("wal replay: %v", err)
+		}
+		if fi, statErr := os.Stat(walPath); statErr == nil && fi.Size() > valid {
+			log.Printf("wal: discarding torn tail (%d of %d bytes valid)", valid, fi.Size())
+			if err := os.Truncate(walPath, valid); err != nil {
+				log.Fatalf("wal truncate: %v", err)
+			}
+		}
 		if err := fresh.RestoreFromWAL(func(fn func(*wal.Record) error) error {
 			return wal.ReplayFile(walPath, fn)
 		}); err != nil {
@@ -151,24 +167,52 @@ func serveCertifier(cert *certifier.Certifier, listen, obsAddr string, wireOpts 
 	select {}
 }
 
-func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxLag uint64, streamGrace time.Duration, applyWorkers, maxApplyBatch int, wireOpts []wire.Option) {
+func runReplica(listen string, id int, certAddr, bootstrap, dataDir string, checkpointEvery uint64, obsAddr string, maxLag uint64, streamGrace time.Duration, applyWorkers, maxApplyBatch int, wireOpts []wire.Option) {
 	if certAddr == "" {
 		log.Fatal("replica role requires -certifier")
 	}
-	eng := storage.NewEngine()
-	if bootstrap != "" {
-		if err := loadBootstrap(eng, bootstrap); err != nil {
-			log.Fatalf("bootstrap: %v", err)
+	var backend storage.Backend
+	var st *pstore.Store
+	if dataDir != "" {
+		// Durable replica: restore the newest verifying fuzzy checkpoint
+		// plus the contiguous WAL suffix; a wiped directory re-runs the
+		// bootstrap. Whatever the disk is missing, the certifier
+		// backfills on resubscription.
+		var boot func(e *storage.Engine) error
+		if bootstrap != "" {
+			boot = func(e *storage.Engine) error { return loadBootstrap(e, bootstrap) }
 		}
+		var err error
+		st, err = pstore.Open(dataDir, pstore.Options{
+			CheckpointEvery: checkpointEvery,
+			Bootstrap:       boot,
+		})
+		if err != nil {
+			log.Fatalf("data-dir: %v", err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		log.Printf("replica %d recovered to version %d from %s (checkpoint %d, took %s)",
+			id, st.Engine().Version(), dataDir, stats.CheckpointVersion, stats.RecoveryTook)
+		backend = st
+	} else {
+		eng := storage.NewEngine()
+		if bootstrap != "" {
+			if err := loadBootstrap(eng, bootstrap); err != nil {
+				log.Fatalf("bootstrap: %v", err)
+			}
+		}
+		backend = storage.MemBackend{Eng: eng}
 	}
+	eng := backend.Engine()
 	cc := wire.DialCertifier(certAddr, id, eng.Version(),
 		append(wireOpts, wire.WithVLocal(eng.Version))...)
-	rep := replica.New(replica.Config{
+	rep := replica.NewWithBackend(replica.Config{
 		ID:            id,
 		EarlyCert:     true,
 		ApplyWorkers:  applyWorkers,
 		MaxApplyBatch: maxApplyBatch,
-	}, eng, cc)
+	}, backend, cc)
 	// Serve gate: while the refresh stream has been dead longer than the
 	// grace (or the replica is still catching up to the version floor it
 	// saw at resubscribe), begin requests fail with ErrUnavailable and
@@ -189,6 +233,29 @@ func runReplica(listen string, id int, certAddr, bootstrap, obsAddr string, maxL
 		tr := obs.NewTraceRecorder(512)
 		rep.EnableObs(reg, tr)
 		srv.EnableObs(reg)
+		if st != nil {
+			reg.GaugeFunc("sconrep_pstore_checkpoint_version",
+				"Version the last durable fuzzy checkpoint captured.",
+				func() float64 { return float64(st.Stats().CheckpointVersion) })
+			reg.GaugeFunc("sconrep_pstore_checkpoint_age_seconds",
+				"Seconds since the last durable fuzzy checkpoint (0 before the first).",
+				func() float64 {
+					at := st.Stats().LastCheckpointAt
+					if at.IsZero() {
+						return 0
+					}
+					return time.Since(at).Seconds()
+				})
+			reg.GaugeFunc("sconrep_pstore_checkpoint_seconds",
+				"Duration of the last fuzzy checkpoint write.",
+				func() float64 { return st.Stats().LastCheckpointTook.Seconds() })
+			reg.GaugeFunc("sconrep_pstore_wal_bytes",
+				"Live WAL footprint: bytes across the retained log segments.",
+				func() float64 { return float64(st.Stats().WALBytes) })
+			reg.GaugeFunc("sconrep_pstore_recovery_seconds",
+				"This process's startup recovery time: checkpoint restore plus WAL suffix replay.",
+				func() float64 { return st.Stats().RecoveryTook.Seconds() })
+		}
 		coll := dtrace.NewCollector(4096)
 		rep.EnableTracing(dtrace.New(fmt.Sprintf("replica-%d", id), coll))
 		serveObs(obsAddr, "replica", obs.Options{

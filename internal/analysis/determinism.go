@@ -8,12 +8,15 @@ import (
 
 // DeterminismSeeded lists the packages whose behavior must replay
 // bit-identically from SCONREP_CHAOS_SEED: the fault injector, the
-// latency model, and the TPC-W workload generator. Matched by import
-// path or path suffix; the fixture tests and the driver's
-// -determinism.pkgs flag can extend it.
+// latency model, the TPC-W workload generator, and the persistent
+// store (its checkpoint codec is the recovery-equivalence oracle — a
+// nondeterministic byte stream would make byte-identical comparison
+// meaningless). Matched by import path or path suffix; the fixture
+// tests and the driver's -determinism.pkgs flag can extend it.
 var DeterminismSeeded = []string{
 	"sconrep/internal/fault",
 	"sconrep/internal/latency",
+	"sconrep/internal/pstore",
 	"sconrep/internal/workload/tpcw",
 }
 

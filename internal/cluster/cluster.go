@@ -13,7 +13,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"sconrep/internal/metrics"
 	"sconrep/internal/obs"
 	"sconrep/internal/obs/dtrace"
+	"sconrep/internal/pstore"
 	"sconrep/internal/replica"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
@@ -56,6 +59,17 @@ type Config struct {
 	// MaxApplyBatch is forwarded to every replica's group-apply batch
 	// bound (0 = the replica default).
 	MaxApplyBatch int
+	// DataDir, when non-empty, gives every replica a persistent
+	// storage backend rooted at DataDir/replica-<i>: applied writesets
+	// are WAL-logged and asynchronous fuzzy checkpoints bound restart
+	// cost to the suffix since the last one (KillReplica/
+	// RestartReplica exercise the kill -9 → disk-restart cycle). Empty
+	// keeps the paper's in-memory replicas.
+	DataDir string
+	// CheckpointEvery is the number of logged versions between
+	// automatic fuzzy checkpoints on durable replicas (0 = the pstore
+	// default).
+	CheckpointEvery uint64
 }
 
 // Cluster is a running replicated database.
@@ -83,6 +97,48 @@ type Cluster struct {
 	tracer *dtrace.Tracer
 	// spanColls holds the per-component span collectors by node name.
 	spanColls map[string]*dtrace.Collector
+
+	// smu guards stores: RestartReplica swaps entries while obs
+	// scrapes read them.
+	smu sync.Mutex
+	// stores holds each replica's persistent backend (nil entries for
+	// in-memory clusters).
+	// guarded by smu
+	stores []*pstore.Store
+	// loadFn is the deterministic LoadData bootstrap, kept so a disk
+	// restart can rebuild an empty data directory.
+	loadFn func(e *storage.Engine) error
+	// recoveryHist observes each disk restart's recovery time; nil
+	// until EnableObs.
+	recoveryHist *obs.Histogram
+}
+
+// store returns replica i's persistent backend (nil for in-memory).
+func (c *Cluster) store(i int) *pstore.Store {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	return c.stores[i]
+}
+
+// Store returns replica i's persistent backend, nil for in-memory
+// replicas. The store is live: CheckpointNow forces a fuzzy
+// checkpoint, and KillReplica/RestartReplica abandon and replace it.
+func (c *Cluster) Store(i int) *pstore.Store { return c.store(i) }
+
+// storeDir is replica i's data directory under Config.DataDir.
+func (c *Cluster) storeDir(i int) string {
+	return filepath.Join(c.cfg.DataDir, fmt.Sprintf("replica-%d", i))
+}
+
+// openStore opens replica i's persistent backend. boot is nil on
+// first construction (LoadData populates and aligns the store) and
+// the saved LoadData function on restart (recovery re-runs it when
+// the directory holds no checkpoint).
+func (c *Cluster) openStore(i int, boot func(e *storage.Engine) error) (*pstore.Store, error) {
+	return pstore.Open(c.storeDir(i), pstore.Options{
+		CheckpointEvery: c.cfg.CheckpointEvery,
+		Bootstrap:       boot,
+	})
 }
 
 // newCore builds the pieces shared by the in-process and networked
@@ -120,14 +176,27 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := newCore(cfg)
 	nodes := make([]lb.Node, 0, cfg.Replicas)
+	c.stores = make([]*pstore.Store, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
-		r := replica.New(replica.Config{
+		rcfg := replica.Config{
 			ID:            i,
 			EarlyCert:     !cfg.DisableEarlyCert,
 			Latency:       latency.NewSource(cfg.Latency, cfg.Seed+int64(i)*7919+1),
 			ApplyWorkers:  cfg.ApplyWorkers,
 			MaxApplyBatch: cfg.MaxApplyBatch,
-		}, storage.NewEngine(), replica.Local(c.cert))
+		}
+		var r *replica.Replica
+		if cfg.DataDir != "" {
+			st, err := c.openStore(i, nil)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.stores[i] = st
+			r = replica.NewWithBackend(rcfg, st, replica.Local(c.cert))
+		} else {
+			r = replica.New(rcfg, storage.NewEngine(), replica.Local(c.cert))
+		}
 		c.replicas = append(c.replicas, r)
 		nodes = append(nodes, r)
 	}
@@ -156,7 +225,67 @@ func (c *Cluster) LoadData(load func(e *storage.Engine) error) error {
 	if err := c.cert.StartAt(v0); err != nil {
 		return err
 	}
+	// Durable replicas: the bulk load is not logged (recovery re-runs
+	// it instead), so align each store's log with the loaded version
+	// and remember the loader for disk restarts.
+	c.smu.Lock()
+	for i, st := range c.stores {
+		if st == nil {
+			continue
+		}
+		if err := st.StartAt(v0); err != nil {
+			c.smu.Unlock()
+			return fmt.Errorf("cluster: aligning store %d: %w", i, err)
+		}
+	}
+	c.loadFn = load
+	c.smu.Unlock()
 	c.loaded = true
+	return nil
+}
+
+// KillReplica simulates kill -9 on a durable replica: detach it and
+// abandon its store mid-flight — in-flight checkpoints abort leaving
+// .tmp files, the unforced WAL tail may be lost. For in-memory
+// replicas it is plain Crash.
+func (c *Cluster) KillReplica(i int) {
+	c.replicas[i].Crash()
+	if st := c.store(i); st != nil {
+		st.Abandon()
+	}
+}
+
+// RestartReplica brings a killed durable replica back through the
+// disk-restart path: reopen the data directory (newest verifying
+// checkpoint + contiguous WAL suffix, Bootstrap on a wiped one), swap
+// the recovered backend in, and resubscribe from the recovered Vlocal
+// so the certifier backfills only the missing history suffix.
+func (c *Cluster) RestartReplica(i int) error {
+	c.smu.Lock()
+	if c.stores[i] == nil {
+		c.smu.Unlock()
+		if err := c.replicas[i].Recover(); err != nil {
+			return err
+		}
+		return nil
+	}
+	boot := c.loadFn
+	c.smu.Unlock()
+	st, err := c.openStore(i, boot)
+	if err != nil {
+		return err
+	}
+	c.smu.Lock()
+	c.stores[i] = st
+	hist := c.recoveryHist
+	c.smu.Unlock()
+	if hist != nil {
+		hist.Observe(st.Stats().RecoveryTook)
+	}
+	if err := c.replicas[i].RecoverFrom(st); err != nil {
+		st.Abandon()
+		return err
+	}
 	return nil
 }
 
@@ -212,10 +341,13 @@ func (c *Cluster) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
 	for i, r := range c.replicas {
 		r.EnableObs(reg, tr)
 		r.OnReadStartDelay(func(d time.Duration) { readDelay.Observe(d) })
-		eng := r.Engine()
+		r := r
 		reg.GaugeVecFunc("sconrep_replica_table_lag",
 			"Replication lag per table: the certifier's last committed version for the table minus this replica's applied version of it.",
 			"table", func() map[string]float64 {
+				// Resolve the engine at scrape time: a disk restart
+				// swaps it.
+				eng := r.Engine()
 				certTV := c.cert.TableVersions()
 				names := make([]string, 0, len(certTV))
 				for t := range certTV {
@@ -233,7 +365,72 @@ func (c *Cluster) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
 				return out
 			}, "replica", strconv.Itoa(i))
 	}
+	c.enableStoreObs(reg)
 	c.balancer.EnableObs(reg)
+}
+
+// enableStoreObs registers the durable-storage instruments: per
+// replica, the checkpoint's age and write duration and the live WAL
+// footprint, plus one recovery-time histogram fed by RestartReplica.
+// No-op for in-memory clusters.
+func (c *Cluster) enableStoreObs(reg *obs.Registry) {
+	durable := false
+	for i := range c.replicas {
+		if c.store(i) == nil {
+			continue
+		}
+		durable = true
+		i := i
+		id := strconv.Itoa(i)
+		reg.GaugeFunc("sconrep_pstore_checkpoint_version",
+			"Version the last durable fuzzy checkpoint captured.",
+			func() float64 {
+				st := c.store(i)
+				if st == nil {
+					return 0
+				}
+				return float64(st.Stats().CheckpointVersion)
+			}, "replica", id)
+		reg.GaugeFunc("sconrep_pstore_checkpoint_age_seconds",
+			"Seconds since this replica's last durable fuzzy checkpoint (0 before the first).",
+			func() float64 {
+				st := c.store(i)
+				if st == nil {
+					return 0
+				}
+				at := st.Stats().LastCheckpointAt
+				if at.IsZero() {
+					return 0
+				}
+				return time.Since(at).Seconds()
+			}, "replica", id)
+		reg.GaugeFunc("sconrep_pstore_checkpoint_seconds",
+			"Duration of this replica's last fuzzy checkpoint write.",
+			func() float64 {
+				st := c.store(i)
+				if st == nil {
+					return 0
+				}
+				return st.Stats().LastCheckpointTook.Seconds()
+			}, "replica", id)
+		reg.GaugeFunc("sconrep_pstore_wal_bytes",
+			"Live WAL footprint: bytes across this replica's retained log segments.",
+			func() float64 {
+				st := c.store(i)
+				if st == nil {
+					return 0
+				}
+				return float64(st.Stats().WALBytes)
+			}, "replica", id)
+	}
+	if durable {
+		hist := reg.Histogram("sconrep_pstore_recovery_seconds",
+			"Disk-restart recovery time: checkpoint restore plus WAL suffix replay, observed by RestartReplica.",
+			nil)
+		c.smu.Lock()
+		c.recoveryHist = hist
+		c.smu.Unlock()
+	}
 }
 
 // EnableDTrace attaches a distributed tracer to every component: each
@@ -310,15 +507,24 @@ func (c *Cluster) NumReplicas() int { return len(c.replicas) }
 // Balancer exposes the load balancer.
 func (c *Cluster) Balancer() *lb.LoadBalancer { return c.balancer }
 
-// Close detaches all replicas, stopping their appliers; a networked
-// cluster also tears down its servers and wire clients.
+// Close detaches all replicas, stopping their appliers, and closes
+// any persistent stores gracefully; a networked cluster also tears
+// down its servers and wire clients.
 func (c *Cluster) Close() {
 	if c.net != nil {
 		c.net.close(c)
-		return
+	} else {
+		for _, r := range c.replicas {
+			r.Crash()
+		}
 	}
-	for _, r := range c.replicas {
-		r.Crash()
+	c.smu.Lock()
+	stores := append([]*pstore.Store(nil), c.stores...)
+	c.smu.Unlock()
+	for _, st := range stores {
+		if st != nil {
+			_ = st.Close()
+		}
 	}
 }
 

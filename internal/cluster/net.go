@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sconrep/internal/latency"
+	"sconrep/internal/pstore"
 	"sconrep/internal/replica"
 	"sconrep/internal/storage"
 	"sconrep/internal/wire"
@@ -101,20 +103,47 @@ func NewNetworked(cfg Config, ncfg NetConfig) (*Cluster, error) {
 
 	repAddrs := make([]string, 0, cfg.Replicas)
 	labelByAddr := make(map[string]string)
+	c.stores = make([]*pstore.Store, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
-		eng := storage.NewEngine()
+		var backend storage.Backend
+		if cfg.DataDir != "" {
+			st, err := c.openStore(i, nil)
+			if err != nil {
+				n.close(c)
+				return nil, err
+			}
+			c.stores[i] = st
+			backend = st
+		} else {
+			backend = storage.MemBackend{Eng: storage.NewEngine()}
+		}
+		// The certifier client's Vlocal callback must track the live
+		// engine: a disk restart (RecoverFrom) swaps it, and a
+		// resubscription reporting the dead engine's version would make
+		// the certifier backfill the wrong suffix. The replica does not
+		// exist yet when we dial, so route through a slot filled right
+		// after construction.
+		var rslot atomic.Pointer[replica.Replica]
+		eng := backend.Engine()
+		vlocal := func() uint64 {
+			if r := rslot.Load(); r != nil {
+				return r.Version()
+			}
+			return eng.Version()
+		}
 		cc := wire.DialCertifier(certSrv.Addr(), i, 0,
 			append(shared,
 				wire.WithDialer(ncfg.dialer(CertLink(i))),
-				wire.WithVLocal(eng.Version))...)
+				wire.WithVLocal(vlocal))...)
 		n.certClients = append(n.certClients, cc)
-		r := replica.New(replica.Config{
+		r := replica.NewWithBackend(replica.Config{
 			ID:            i,
 			EarlyCert:     !cfg.DisableEarlyCert,
 			Latency:       latency.NewSource(cfg.Latency, cfg.Seed+int64(i)*7919+1),
 			ApplyWorkers:  cfg.ApplyWorkers,
 			MaxApplyBatch: cfg.MaxApplyBatch,
-		}, eng, cc)
+		}, backend, cc)
+		rslot.Store(r)
 		c.replicas = append(c.replicas, r)
 		grace := ncfg.StreamGrace
 		gate := func() error {

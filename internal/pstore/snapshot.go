@@ -1,0 +1,425 @@
+package pstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"sconrep/internal/storage"
+)
+
+// Checkpoint snapshot format. A checkpoint is the deterministic binary
+// image of everything visible at one commit version S — the consistent
+// (snapshot, Vlocal) pair of the fuzzy-checkpoint protocol:
+//
+//	magic   "SCKP0001" (8 bytes)
+//	uvarint S (snapshot version)
+//	uvarint table count
+//	per table, in lexical name order:
+//	  str name
+//	  uvarint #columns; per column: str name, 1 byte type
+//	  uvarint #key columns; per: str name
+//	  uvarint #indexes; per: str name, str column
+//	  uvarint #rows
+//	  per row, in primary-key order:
+//	    str encoded-pk
+//	    uvarint row commit version (≤ S)
+//	    uvarint #values (= #columns); per value: tag byte + payload
+//	      0 NULL · 1 false · 2 true · 3 int64 (8B LE) ·
+//	      4 float64 (8B LE) · 5 str
+//	crc32 (IEEE, 4 bytes LE) over everything above
+//
+// str is uvarint length + bytes. The encoding is canonical: one engine
+// state at one version has exactly one byte image, which is what lets
+// the recovery-equivalence tests compare replicas with bytes.Equal.
+// Loading verifies the trailing CRC before any parsing, rejects
+// unsorted or duplicate tables/keys, schema-checks every row, and
+// bounds every count by the bytes that remain — arbitrary input yields
+// an error, never a panic or a half-built engine.
+
+const snapMagic = "SCKP0001"
+
+// ErrBadSnapshot reports an unreadable or failed-verification
+// checkpoint image.
+var ErrBadSnapshot = errors.New("pstore: bad checkpoint snapshot")
+
+// errAborted signals a snapshot write cancelled by the abort callback
+// (store closed mid-checkpoint).
+var errAborted = errors.New("pstore: snapshot aborted")
+
+// WriteSnapshot writes the snapshot of eng at version at to w and
+// returns the CRC-inclusive byte count. abort, if non-nil, is polled
+// between row chunks; returning true abandons the write. The scan is
+// fuzzy: it never blocks the apply pipeline (see Engine.ScanVisible),
+// yet the image is exactly the state at version at.
+func WriteSnapshot(w io.Writer, eng *storage.Engine, at uint64, abort func() bool) (int64, error) {
+	cw := &crcWriter{w: w}
+	buf := make([]byte, 0, 256)
+
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, at)
+	names := eng.TablesSorted()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	if err := cw.write(buf); err != nil {
+		return cw.n, err
+	}
+
+	for _, name := range names {
+		sch, ok := eng.Schema(name)
+		if !ok {
+			return cw.n, fmt.Errorf("pstore: table %s vanished during snapshot", name)
+		}
+		buf = buf[:0]
+		buf = appendStr(buf, name)
+		buf = binary.AppendUvarint(buf, uint64(len(sch.Columns)))
+		for _, c := range sch.Columns {
+			buf = appendStr(buf, c.Name)
+			buf = append(buf, byte(c.Type))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(sch.Key)))
+		for _, k := range sch.Key {
+			buf = appendStr(buf, k)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(sch.Indexes)))
+		for _, ix := range sch.Indexes {
+			buf = appendStr(buf, ix.Name)
+			buf = appendStr(buf, ix.Column)
+		}
+		if err := cw.write(buf); err != nil {
+			return cw.n, err
+		}
+
+		// Row count prefix without a second scan: count first, then
+		// emit. Both scans see the same rows — visibility at a fixed
+		// version is stable no matter what installs land meanwhile.
+		rows := uint64(0)
+		err := eng.ScanVisible(name, at, func(string, uint64, []any) error {
+			rows++
+			return nil
+		})
+		if err != nil {
+			return cw.n, err
+		}
+		buf = binary.AppendUvarint(buf[:0], rows)
+		if err := cw.write(buf); err != nil {
+			return cw.n, err
+		}
+		emitted := uint64(0)
+		err = eng.ScanVisible(name, at, func(key string, version uint64, row []any) error {
+			if emitted%512 == 0 && abort != nil && abort() {
+				return errAborted
+			}
+			emitted++
+			buf = appendStr(buf[:0], key)
+			buf = binary.AppendUvarint(buf, version)
+			buf = binary.AppendUvarint(buf, uint64(len(row)))
+			for _, v := range row {
+				var verr error
+				buf, verr = appendValue(buf, v)
+				if verr != nil {
+					return verr
+				}
+			}
+			return cw.write(buf)
+		})
+		if err != nil {
+			return cw.n, err
+		}
+		if emitted != rows {
+			return cw.n, fmt.Errorf("pstore: table %s: %d rows counted, %d emitted", name, rows, emitted)
+		}
+	}
+
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.sum)
+	if _, err := cw.w.Write(tail[:]); err != nil {
+		return cw.n, err
+	}
+	cw.n += 4
+	return cw.n, nil
+}
+
+// SnapshotAt returns the canonical snapshot image of eng at version at.
+// The recovery-equivalence oracle compares these across replicas.
+func SnapshotAt(eng *storage.Engine, at uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, eng, at, nil); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadSnapshot verifies and decodes a snapshot image into a fresh
+// engine, returning it with its snapshot version. The CRC is checked
+// before parsing and the engine is built and returned only on full
+// success, so a corrupt checkpoint can never leak partial state.
+func LoadSnapshot(data []byte) (*storage.Engine, uint64, error) {
+	if len(data) < len(snapMagic)+4 {
+		return nil, 0, fmt.Errorf("%w: short image (%d bytes)", ErrBadSnapshot, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	return parseSnapshot(body)
+}
+
+// parseSnapshot decodes a CRC-stripped snapshot body. Split from
+// LoadSnapshot so the fuzz target can exercise the parser directly —
+// the CRC gate would otherwise shield it from nearly every input.
+func parseSnapshot(body []byte) (*storage.Engine, uint64, error) {
+	r := &creader{b: body}
+	magic, err := r.take(len(snapMagic))
+	if err != nil || string(magic) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	at, err := r.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	ntables, err := r.count()
+	if err != nil {
+		return nil, 0, err
+	}
+	eng := storage.NewEngine()
+	prevTable := ""
+	for ti := uint64(0); ti < ntables; ti++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, 0, err
+		}
+		if ti > 0 && name <= prevTable {
+			return nil, 0, fmt.Errorf("%w: tables out of order at %q", ErrBadSnapshot, name)
+		}
+		prevTable = name
+		sch := &storage.Schema{Table: name}
+		ncols, err := r.count()
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := uint64(0); i < ncols; i++ {
+			cn, err := r.str()
+			if err != nil {
+				return nil, 0, err
+			}
+			ct, err := r.byte()
+			if err != nil {
+				return nil, 0, err
+			}
+			sch.Columns = append(sch.Columns, storage.Column{Name: cn, Type: storage.ColType(ct)})
+		}
+		nkey, err := r.count()
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := uint64(0); i < nkey; i++ {
+			kn, err := r.str()
+			if err != nil {
+				return nil, 0, err
+			}
+			sch.Key = append(sch.Key, kn)
+		}
+		nidx, err := r.count()
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := uint64(0); i < nidx; i++ {
+			in, err := r.str()
+			if err != nil {
+				return nil, 0, err
+			}
+			ic, err := r.str()
+			if err != nil {
+				return nil, 0, err
+			}
+			sch.Indexes = append(sch.Indexes, storage.IndexDef{Name: in, Column: ic})
+		}
+		if err := eng.CreateTable(sch); err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		nrows, err := r.count()
+		if err != nil {
+			return nil, 0, err
+		}
+		prevKey := ""
+		for ri := uint64(0); ri < nrows; ri++ {
+			key, err := r.str()
+			if err != nil {
+				return nil, 0, err
+			}
+			if ri > 0 && key <= prevKey {
+				return nil, 0, fmt.Errorf("%w: keys out of order in %s", ErrBadSnapshot, name)
+			}
+			prevKey = key
+			rv, err := r.uvarint()
+			if err != nil {
+				return nil, 0, err
+			}
+			if rv > at {
+				return nil, 0, fmt.Errorf("%w: row version %d above snapshot %d", ErrBadSnapshot, rv, at)
+			}
+			nvals, err := r.count()
+			if err != nil {
+				return nil, 0, err
+			}
+			if nvals != ncols {
+				return nil, 0, fmt.Errorf("%w: row arity %d, want %d", ErrBadSnapshot, nvals, ncols)
+			}
+			row := make([]any, nvals)
+			for i := range row {
+				if row[i], err = r.val(); err != nil {
+					return nil, 0, err
+				}
+			}
+			if err := eng.RestoreRow(name, key, row, rv); err != nil {
+				return nil, 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+		}
+	}
+	if r.rem() != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, r.rem())
+	}
+	eng.RestoreVersion(at)
+	return eng, at, nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendValue(dst []byte, v any) ([]byte, error) {
+	switch tv := v.(type) {
+	case nil:
+		return append(dst, 0), nil
+	case bool:
+		if tv {
+			return append(dst, 2), nil
+		}
+		return append(dst, 1), nil
+	case int64:
+		dst = append(dst, 3)
+		return binary.LittleEndian.AppendUint64(dst, uint64(tv)), nil
+	case float64:
+		dst = append(dst, 4)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(tv)), nil
+	case string:
+		dst = append(dst, 5)
+		return appendStr(dst, tv), nil
+	default:
+		return dst, fmt.Errorf("pstore: cannot encode value of type %T", v)
+	}
+}
+
+// crcWriter tees writes through a running CRC32.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+	n   int64
+}
+
+func (c *crcWriter) write(p []byte) error {
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p)
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return err
+}
+
+// creader is a bounds-checked cursor over untrusted snapshot bytes.
+type creader struct {
+	b []byte
+}
+
+func (r *creader) rem() int { return len(r.b) }
+
+func (r *creader) take(n int) ([]byte, error) {
+	if n < 0 || n > len(r.b) {
+		return nil, fmt.Errorf("%w: truncated", ErrBadSnapshot)
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *creader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *creader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrBadSnapshot)
+	}
+	// Reject non-minimal encodings (a zero final byte adds nothing):
+	// the format is canonical, one state → one byte image.
+	if n > 1 && r.b[n-1] == 0 {
+		return 0, fmt.Errorf("%w: non-minimal uvarint", ErrBadSnapshot)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// count reads a uvarint bounded by the bytes remaining: every counted
+// element occupies at least one byte, so anything larger is garbage
+// and must not drive allocation.
+func (r *creader) count() (uint64, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)) {
+		return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrBadSnapshot, v, len(r.b))
+	}
+	return v, nil
+}
+
+func (r *creader) str() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *creader) val() (any, error) {
+	tag, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case 0:
+		return nil, nil
+	case 1:
+		return false, nil
+	case 2:
+		return true, nil
+	case 3:
+		b, err := r.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return int64(binary.LittleEndian.Uint64(b)), nil
+	case 4:
+		b, err := r.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+	case 5:
+		return r.str()
+	default:
+		return nil, fmt.Errorf("%w: unknown value tag %d", ErrBadSnapshot, tag)
+	}
+}

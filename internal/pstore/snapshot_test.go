@@ -1,0 +1,176 @@
+package pstore
+
+import (
+	"bytes"
+	"testing"
+
+	"sconrep/internal/storage"
+	"sconrep/internal/writeset"
+)
+
+// typedEngine builds an engine exercising every value type, NULLs,
+// strings with NULs, multiple tables, and a composite key.
+func typedEngine(t testing.TB) *storage.Engine {
+	e := storage.NewEngine()
+	if err := e.CreateTable(&storage.Schema{
+		Table: "a_typed",
+		Columns: []storage.Column{
+			{Name: "id", Type: storage.TInt},
+			{Name: "f", Type: storage.TFloat},
+			{Name: "s", Type: storage.TString},
+			{Name: "b", Type: storage.TBool},
+		},
+		Key:     []string{"id"},
+		Indexes: []storage.IndexDef{{Name: "a_f", Column: "f"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTable(&storage.Schema{
+		Table: "b_pairs",
+		Columns: []storage.Column{
+			{Name: "x", Type: storage.TString},
+			{Name: "y", Type: storage.TInt},
+			{Name: "n", Type: storage.TString},
+		},
+		Key: []string{"x", "y"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		table string
+		key   string
+		row   []any
+	}{
+		{"a_typed", storage.EncodeKey(int64(1)), []any{int64(1), 3.25, "plain", true}},
+		{"a_typed", storage.EncodeKey(int64(2)), []any{int64(2), -0.5, "nul\x00inside", false}},
+		{"a_typed", storage.EncodeKey(int64(3)), []any{int64(3), nil, nil, nil}},
+		{"b_pairs", storage.EncodeKey("k", int64(7)), []any{"k", int64(7), ""}},
+	}
+	v := uint64(0)
+	for _, r := range rows {
+		v++
+		ws := &writeset.WriteSet{Items: []writeset.Item{{
+			Table: r.table, Key: r.key, Op: writeset.OpInsert, Row: r.row,
+		}}}
+		if err := e.ApplyWriteSet(ws, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A delete: tombstoned rows must be absent from the snapshot.
+	v++
+	if err := e.ApplyWriteSet(&writeset.WriteSet{Items: []writeset.Item{{
+		Table: "a_typed", Key: storage.EncodeKey(int64(3)), Op: writeset.OpDelete,
+	}}}, v); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := typedEngine(t)
+	at := e.Version()
+	img, err := SnapshotAt(e, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, v, err := LoadSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != at {
+		t.Fatalf("loaded version %d, want %d", v, at)
+	}
+	img2, err := SnapshotAt(e2, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, img2) {
+		t.Fatal("snapshot not a fixed point across load/re-encode")
+	}
+	// Schemas and indexes survive.
+	sch, ok := e2.Schema("a_typed")
+	if !ok || len(sch.Indexes) != 1 || sch.Indexes[0].Name != "a_f" {
+		t.Fatalf("schema lost: %+v", sch)
+	}
+	if e2.Version() != at {
+		t.Fatalf("engine version %d, want %d", e2.Version(), at)
+	}
+}
+
+// Snapshots at an older version must see through newer writes — the
+// fuzzy-checkpoint visibility rule.
+func TestSnapshotAtOlderVersion(t *testing.T) {
+	e := typedEngine(t)
+	imgOld, err := SnapshotAt(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eOld, v, err := LoadSnapshot(imgOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("version %d, want 2", v)
+	}
+	// Row 3 (inserted at version 3, deleted at 5) must be invisible;
+	// rows 1-2 visible.
+	img2, err := SnapshotAt(eOld, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(imgOld, img2) {
+		t.Fatal("older-version snapshot not a fixed point")
+	}
+}
+
+func TestLoadSnapshotRejectsDamage(t *testing.T) {
+	e := typedEngine(t)
+	img, err := SnapshotAt(e, e.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, len(img) / 3, len(img) / 2, len(img) - 2} {
+		bad := append([]byte(nil), img...)
+		bad[pos] ^= 0xff
+		if _, _, err := LoadSnapshot(bad); err == nil {
+			t.Fatalf("flip at %d: corrupt snapshot loaded without error", pos)
+		}
+	}
+	if _, _, err := LoadSnapshot(img[:len(img)/2]); err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+	if _, _, err := LoadSnapshot(nil); err == nil {
+		t.Fatal("empty snapshot loaded without error")
+	}
+}
+
+// FuzzCheckpointLoad drives the parser (CRC gate bypassed — the fuzzer
+// would never forge checksums) with arbitrary bytes: it must error or
+// succeed, never panic, and success must be a canonical fixed point,
+// which is exactly the "never return corrupt state" property.
+func FuzzCheckpointLoad(f *testing.F) {
+	e := typedEngine(f)
+	img, err := SnapshotAt(e, e.Version())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img[:len(img)-4]) // parser input is the CRC-stripped body
+	empty, _ := SnapshotAt(storage.NewEngine(), 0)
+	f.Add(empty[:len(empty)-4])
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		eng, at, err := parseSnapshot(body)
+		if err != nil {
+			return
+		}
+		re, err := SnapshotAt(eng, at)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re[:len(re)-4], body) {
+			t.Fatal("accepted snapshot is not canonical (re-encode differs)")
+		}
+	})
+}

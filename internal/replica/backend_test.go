@@ -1,0 +1,232 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sconrep/internal/certifier"
+	"sconrep/internal/pstore"
+	"sconrep/internal/storage"
+)
+
+// recordingCert wraps a CertService and records every History call —
+// the probe for the tentpole's acceptance check: a replica restored
+// from checkpoint + WAL must ask the certifier only for the history
+// suffix its durable state missed, never for the full history.
+type recordingCert struct {
+	CertService
+	mu     sync.Mutex
+	afters []uint64
+}
+
+func (c *recordingCert) History(after uint64) []certifier.Refresh {
+	c.mu.Lock()
+	c.afters = append(c.afters, after)
+	c.mu.Unlock()
+	return c.CertService.History(after)
+}
+
+// waitLogged blocks until the store's contiguous durable tail reaches
+// v. Logging is asynchronous relative to apply visibility, so a test
+// that needs exact recovery must wait for durability, not just for
+// WaitVersion.
+func waitLogged(t *testing.T, st *pstore.Store, v uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().LoggedVersion < v {
+		if time.Now().After(deadline) {
+			t.Fatalf("durable log stuck at %d, want %d", st.Stats().LoggedVersion, v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *recordingCert) lastHistoryAfter(t *testing.T) uint64 {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.afters) == 0 {
+		t.Fatal("History never called during recovery")
+	}
+	return c.afters[len(c.afters)-1]
+}
+
+// TestDiskRestartBackfillsOnlyHistorySuffix is the tentpole scenario
+// end to end at the replica layer: a durable replica is killed without
+// warning (Crash + backend Abandon — no graceful close), its store is
+// reopened from the latest checkpoint plus the WAL suffix, and the
+// replica resumes via RecoverFrom. The certifier must be asked only
+// for versions after the recovered Vlocal, and the recovered replica
+// must converge to byte-identical state with a never-crashed peer.
+func TestDiskRestartBackfillsOnlyHistorySuffix(t *testing.T) {
+	dir := t.TempDir()
+	cert := certifier.New()
+	eng0 := storage.NewEngine()
+	loadKV(t, eng0)
+	r0 := New(Config{ID: 0, EarlyCert: true}, eng0, Local(cert))
+	defer r0.Crash()
+	st, err := pstore.Open(dir, pstore.Options{Bootstrap: kvBoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := &recordingCert{CertService: Local(cert)}
+	r1 := NewWithBackend(Config{ID: 1, EarlyCert: true}, st, rc)
+	defer r1.Crash()
+	if err := cert.StartAt(r0.Version()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Refresh traffic plus one local commit on the durable replica:
+	// both apply paths must feed the durable log.
+	for i := 0; i < 8; i++ {
+		commitUpdate(t, r0, int64(i%10), fmt.Sprintf("pre-%d", i))
+	}
+	commitUpdate(t, r1, 9, "local-pre")
+	waitVersion(t, r1, cert.Version())
+	if err := st.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	ckptV := st.Stats().CheckpointVersion
+	if ckptV == 0 {
+		t.Fatal("checkpoint did not advance")
+	}
+
+	// Kill -9: detach the replica and abandon the store mid-flight.
+	r1.Crash()
+	st.Abandon()
+
+	// The cluster makes progress while the replica is down.
+	for i := 0; i < 5; i++ {
+		commitUpdate(t, r0, int64(i), fmt.Sprintf("down-%d", i))
+	}
+	final := cert.Version()
+
+	// Disk restart: recover the store, then the replica from it.
+	st2, err := pstore.Open(dir, pstore.Options{Bootstrap: kvBoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered := st2.Engine().Version()
+	if recovered < ckptV {
+		t.Fatalf("recovered version %d below checkpoint %d", recovered, ckptV)
+	}
+	if err := r1.RecoverFrom(st2); err != nil {
+		t.Fatal(err)
+	}
+	waitVersion(t, r1, final)
+
+	if after := rc.lastHistoryAfter(t); after != recovered {
+		t.Fatalf("recovery asked History(after=%d), want the recovered Vlocal %d", after, recovered)
+	}
+
+	// Byte-identical equivalence with the never-crashed peer.
+	want, err := pstore.SnapshotAt(r0.Engine(), final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pstore.SnapshotAt(r1.Engine(), final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("recovered replica state differs from never-crashed peer")
+	}
+
+	// And it serves again: commits originate here and are logged.
+	res := commitUpdate(t, r1, 0, "post")
+	waitVersion(t, r0, res.Version)
+	if got := readKV(t, r0, 0); got != "post" {
+		t.Fatalf("post-recovery commit lost: %q", got)
+	}
+}
+
+// A crashed replica whose restore point fell below the certifier's
+// history floor can never be backfilled; Recover must fail loudly and
+// leave the replica detached rather than serve silently diverged data.
+func TestRecoverFailsLoudlyOnTrimmedHistory(t *testing.T) {
+	rg := newRig(t, 2, true)
+	defer rg.close()
+	commitUpdate(t, rg.replicas[0], 1, "before")
+	waitVersion(t, rg.replicas[1], rg.cert.Version())
+	rg.replicas[1].Crash()
+
+	for i := 0; i < 6; i++ {
+		commitUpdate(t, rg.replicas[0], int64(i), fmt.Sprintf("during-%d", i))
+	}
+	// Trim everything but the newest version: the crashed replica's
+	// suffix is gone.
+	rg.cert.TrimBelow(rg.cert.Version() - 1)
+
+	if err := rg.replicas[1].Recover(); err == nil {
+		t.Fatal("Recover succeeded over a trimmed history gap")
+	}
+	if !rg.replicas[1].Crashed() {
+		t.Fatal("replica serving after a failed recovery")
+	}
+}
+
+// In-process crash recovery with the SAME backend must realign the
+// durable log: versions backfilled from history are logged, and the
+// store keeps sequencing future runs instead of parking them behind a
+// gap.
+func TestRecoverRealignsDurableLog(t *testing.T) {
+	dir := t.TempDir()
+	cert := certifier.New()
+	eng0 := storage.NewEngine()
+	loadKV(t, eng0)
+	r0 := New(Config{ID: 0, EarlyCert: true}, eng0, Local(cert))
+	defer r0.Crash()
+	st, err := pstore.Open(dir, pstore.Options{Bootstrap: kvBoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewWithBackend(Config{ID: 1, EarlyCert: true}, st, Local(cert))
+	defer r1.Crash()
+	if err := cert.StartAt(r0.Version()); err != nil {
+		t.Fatal(err)
+	}
+
+	commitUpdate(t, r0, 1, "a")
+	waitVersion(t, r1, cert.Version())
+	r1.Crash()
+	for i := 0; i < 4; i++ {
+		commitUpdate(t, r0, int64(i), fmt.Sprintf("b-%d", i))
+	}
+	if err := r1.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	waitVersion(t, r1, cert.Version())
+	commitUpdate(t, r1, 5, "after-recover")
+	final := cert.Version()
+	waitVersion(t, r1, final)
+	waitVersion(t, r0, final)
+	waitLogged(t, st, final)
+
+	// Everything — pre-crash, backfilled, and post-recovery — must be
+	// durable: abandon the store and recover from disk alone.
+	r1.Crash()
+	st.Abandon()
+	st2, err := pstore.Open(dir, pstore.Options{Bootstrap: kvBoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Engine().Version(); got != final {
+		t.Fatalf("durable recovery reached %d, want %d", got, final)
+	}
+	want, err := pstore.SnapshotAt(r0.Engine(), final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pstore.SnapshotAt(st2.Engine(), final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("durable state differs from never-crashed peer")
+	}
+}

@@ -48,8 +48,8 @@ func (r *Replica) EnableObs(reg *obs.Registry, tr *obs.TraceRecorder) {
 	id := strconv.Itoa(r.cfg.ID)
 	o := &obsState{id: r.cfg.ID, traces: tr, tableVers: make(map[string]uint64)}
 	// Bootstrapped tables start at the engine's current version.
-	for _, tab := range r.eng.Tables() {
-		o.tableVers[tab] = r.eng.Version()
+	for _, tab := range r.engine().Tables() {
+		o.tableVers[tab] = r.engine().Version()
 	}
 	o.syncDelay = reg.Histogram("sconrep_sync_delay_seconds",
 		"Synchronization start delay: wait until Vlocal reaches the transaction's minimum start version (the paper's Figure 6 series).",

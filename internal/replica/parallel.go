@@ -54,7 +54,7 @@ func (r *Replica) applyBatchParallel(wss []*writeset.WriteSet, start uint64) err
 		if o := r.obs.Load(); o != nil {
 			o.applySerialFallbacks.Inc()
 		}
-		if err := r.eng.ApplyWriteSetBatch(wss, start); err != nil {
+		if err := r.engine().ApplyWriteSetBatch(wss, start); err != nil {
 			return err
 		}
 		r.appliedRefreshes.Add(int64(n))
@@ -74,7 +74,7 @@ func (r *Replica) applyBatchParallel(wss []*writeset.WriteSet, start uint64) err
 
 	sched := &parallelSchedule{
 		r:     r,
-		eng:   r.eng,
+		eng:   r.engine(),
 		wss:   wss,
 		succs: g.Succs,
 		start: start,
@@ -133,6 +133,7 @@ func (r *Replica) applyBatchStriped(wss []*writeset.WriteSet, start uint64, work
 			bounds[w+1]++
 		}
 	}
+	eng := r.engine()
 	var (
 		prefix atomic.Int32
 		errp   atomic.Pointer[error]
@@ -147,13 +148,13 @@ func (r *Replica) applyBatchStriped(wss []*writeset.WriteSet, start uint64, work
 				return
 			}
 			if prefix.CompareAndSwap(p, p+1) {
-				r.eng.PublishVersion(start + uint64(bounds[p+1]) - 1)
+				eng.PublishVersion(start + uint64(bounds[p+1]) - 1)
 			}
 		}
 	}
 	runStripe := func(w int) {
 		lo, hi := bounds[w], bounds[w+1]
-		if err := r.eng.InstallWriteSets(wss[lo:hi], start+uint64(lo)); err != nil {
+		if err := eng.InstallWriteSets(wss[lo:hi], start+uint64(lo)); err != nil {
 			werr := fmt.Errorf("parallel apply stripe at %d: %w", start+uint64(lo), err)
 			errp.CompareAndSwap(nil, &werr)
 			return

@@ -138,13 +138,25 @@ type Config struct {
 
 // Replica is one proxy + DBMS pair.
 type Replica struct {
-	cfg  Config
-	eng  *storage.Engine
+	cfg Config
+	// eng is the MVCC engine. It is a pointer slot, not a plain field,
+	// because disk-restart recovery (RecoverFrom) swaps in the engine
+	// rebuilt from checkpoint + WAL while stale goroutines from the
+	// crashed incarnation may still be reading it.
+	eng  atomic.Pointer[storage.Engine]
 	cert CertService
 	lat  *latency.Source
 
 	mu   sync.Mutex
 	cond *sync.Cond
+	// dur is the durable backend: every applied run — refresh batches
+	// and local commits alike — is reported to it after the engine
+	// apply. Captured under mu so a batch in flight across a crash
+	// keeps logging to the store it started with (which a disk restart
+	// has abandoned — those appends no-op) rather than corrupting the
+	// replacement's sequencing.
+	// guarded by mu
+	dur storage.Backend
 	// sub is the live certifier subscription.
 	// guarded by mu
 	sub RefreshSource
@@ -240,7 +252,21 @@ func (r *Replica) OnReadStartDelay(fn func(time.Duration)) {
 
 // New creates a replica around an existing engine (already loaded with
 // the initial database) and attaches it to the certification service.
+// Durability is the paper's default: none — a restarted replica
+// rebuilds from the certifier's history.
 func New(cfg Config, eng *storage.Engine, cert CertService) *Replica {
+	return newReplica(cfg, storage.MemBackend{Eng: eng}, cert)
+}
+
+// NewWithBackend creates a replica around a pluggable storage backend.
+// The engine comes from the backend — typically already recovered from
+// checkpoint + WAL — and every applied run is logged back to it, so a
+// future restart replays only the history suffix the backend missed.
+func NewWithBackend(cfg Config, b storage.Backend, cert CertService) *Replica {
+	return newReplica(cfg, b, cert)
+}
+
+func newReplica(cfg Config, b storage.Backend, cert CertService) *Replica {
 	if cfg.DBSlots <= 0 {
 		cfg.DBSlots = 2
 	}
@@ -252,7 +278,7 @@ func New(cfg Config, eng *storage.Engine, cert CertService) *Replica {
 	}
 	r := &Replica{
 		cfg:        cfg,
-		eng:        eng,
+		dur:        b,
 		cert:       cert,
 		lat:        cfg.Latency,
 		reorder:    make(map[uint64]certifier.Refresh),
@@ -261,10 +287,15 @@ func New(cfg Config, eng *storage.Engine, cert CertService) *Replica {
 		slots:      make(chan struct{}, cfg.DBSlots),
 		arrived:    make(map[uint64]time.Time),
 	}
+	r.eng.Store(b.Engine())
 	r.cond = sync.NewCond(&r.mu)
 	r.attach()
 	return r
 }
+
+// engine returns the current MVCC engine. The slot is swapped only by
+// RecoverFrom, and only while the replica is crashed.
+func (r *Replica) engine() *storage.Engine { return r.eng.Load() }
 
 // withSlot runs fn holding one DBMS execution slot. Callers must not
 // hold r.mu.
@@ -278,10 +309,10 @@ func (r *Replica) withSlot(fn func()) {
 func (r *Replica) ID() int { return r.cfg.ID }
 
 // Engine exposes the embedded storage engine (tests, data loading).
-func (r *Replica) Engine() *storage.Engine { return r.eng }
+func (r *Replica) Engine() *storage.Engine { return r.engine() }
 
 // Version returns the replica's Vlocal.
-func (r *Replica) Version() uint64 { return r.eng.Version() }
+func (r *Replica) Version() uint64 { return r.engine().Version() }
 
 // Active returns the number of in-flight client transactions — the
 // load balancer's routing signal.
@@ -346,7 +377,7 @@ func (r *Replica) applier(sub RefreshSource, gen int) {
 		}
 		o := r.obs.Load()
 		for _, ref := range batch {
-			if ref.Version > r.eng.Version() {
+			if ref.Version > r.engine().Version() {
 				r.reorder[ref.Version] = ref
 				if o != nil {
 					r.arrived[ref.Version] = time.Now()
@@ -416,7 +447,7 @@ func (r *Replica) applyReadyLocked() bool {
 		if len(r.applying) > 0 {
 			return progress
 		}
-		start := r.eng.Version() + 1
+		start := r.engine().Version() + 1
 		// Drop entries a completed batch has already covered: a refresh
 		// or a history backfill admitted against a pre-apply Vlocal can
 		// land below the published tail and would otherwise pin its
@@ -477,6 +508,7 @@ func (r *Replica) applyReadyLocked() bool {
 		if tr := r.tracer.Load(); tr != nil {
 			spans = r.startApplySpans(tr, batch)
 		}
+		dur := r.dur
 		r.applying = batch
 		r.mu.Unlock()
 		var err error
@@ -499,9 +531,17 @@ func (r *Replica) applyReadyLocked() bool {
 				counted = true
 				err = r.applyBatchParallel(wss, start)
 			} else {
-				err = r.eng.ApplyWriteSetBatch(wss, start)
+				err = r.engine().ApplyWriteSetBatch(wss, start)
 			}
 		})
+		if err == nil {
+			// Durable logging is non-forced and advisory (the certifier
+			// is the durability authority; a lost tail is backfilled on
+			// recovery), so it runs outside r.mu and after the engine
+			// apply. wss stays ours until r.applying clears: the backend
+			// copies anything it parks.
+			_ = dur.LogApplied(wss, start)
+		}
 		r.mu.Lock()
 		r.applying = nil
 		for _, sp := range spans {
@@ -568,7 +608,7 @@ func (r *Replica) startApplySpans(tr *dtrace.Tracer, batch []certifier.Refresh) 
 func (r *Replica) WaitVersion(v uint64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for r.eng.Version() < v {
+	for r.engine().Version() < v {
 		if r.crashed {
 			return ErrCrashed
 		}
@@ -661,7 +701,7 @@ func (r *Replica) BeginCtx(minVersion uint64, timer *metrics.TxnTimer, sc dtrace
 		span.End()
 		return nil, ErrCrashed
 	}
-	tx.stx = r.eng.Begin()
+	tx.stx = r.engine().Begin()
 	r.actives[tx.id] = tx
 	r.mu.Unlock()
 	r.active.Add(1)
@@ -713,7 +753,7 @@ func (t *Txn) Exec(p *sql.Prepared, params ...any) (*sql.Result, error) {
 		if t.r.lat != nil {
 			t.r.lat.Statement()
 		}
-		res, err = p.Exec(t.stx, t.r.eng, params...)
+		res, err = p.Exec(t.stx, t.r.engine(), params...)
 	})
 	sp.End()
 	if err != nil {
@@ -745,7 +785,7 @@ func (t *Txn) ExecSQL(src string, params ...any) (*sql.Result, error) {
 		if t.r.lat != nil {
 			t.r.lat.Statement()
 		}
-		res, err = sql.ExecStmt(t.stx, t.r.eng, stmt, params...)
+		res, err = sql.ExecStmt(t.stx, t.r.engine(), stmt, params...)
 	})
 	sp.End()
 	if err != nil {
@@ -897,7 +937,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 			}
 		})
 		snap := t.stx.Snapshot()
-		tv := t.r.eng.TableVersionsAt(t.Touched(), snap)
+		tv := t.r.engine().TableVersionsAt(t.Touched(), snap)
 		t.outcome, t.commitVersion, t.readOnly = "commit", snap, true
 		t.abortInternal() // releases the storage txn; nothing to apply
 		return CommitResult{Version: snap, ReadOnly: true, TableVersions: tv}, nil
@@ -948,12 +988,12 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		// straight from the certifier — is already installed (or is
 		// inside the in-flight batch). Committing it again would be a
 		// double apply, so adopt the refresh as our commit instead.
-		if r.eng.Version() >= dec.Version {
+		if r.engine().Version() >= dec.Version {
 			appliedAsRefresh = true
 			break
 		}
 		covered := len(r.applying) > 0 && r.applying[len(r.applying)-1].Version >= dec.Version
-		if r.eng.Version() == dec.Version-1 && !covered {
+		if r.engine().Version() == dec.Version-1 && !covered {
 			break // our turn: predecessors applied, our slot is free
 		}
 		r.cond.Wait()
@@ -971,7 +1011,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 			if r.lat != nil {
 				r.lat.LocalCommit()
 			}
-			commitErr = r.eng.ApplyWriteSet(ws, dec.Version)
+			commitErr = r.engine().ApplyWriteSet(ws, dec.Version)
 		})
 		if commitErr != nil {
 			// The slot was claimed and predecessors applied; failure here
@@ -981,9 +1021,16 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 	}
 	r.mu.Lock()
 	delete(r.committing, dec.Version)
+	dur := r.dur
 	// Wake the drainer: refreshes may have queued up behind our slot.
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	if !appliedAsRefresh {
+		// A writeset adopted as a refresh is logged by the drainer; one
+		// we committed ourselves is ours to log. This run may race the
+		// drainer's around it — sequencing is the backend's job.
+		_ = dur.LogApplied([]*writeset.WriteSet{ws}, dec.Version)
+	}
 	if o := r.obs.Load(); o != nil {
 		o.noteTables(ws.Tables(), dec.Version)
 	}
@@ -1005,7 +1052,7 @@ func (t *Txn) Commit(eager bool) (CommitResult, error) {
 		}
 	}
 
-	tv := r.eng.TableVersionsAt(t.Touched(), t.stx.Snapshot())
+	tv := r.engine().TableVersionsAt(t.Touched(), t.stx.Snapshot())
 	for _, tab := range ws.Tables() {
 		tv[tab] = dec.Version
 	}
@@ -1054,10 +1101,24 @@ func (r *Replica) Recover() error {
 	// Subscribe first so no refresh is missed, then backfill from
 	// history; the reorder buffer deduplicates overlap by version.
 	r.attach()
-	missed := r.cert.History(r.eng.Version())
+	engV := r.engine().Version()
+	missed := r.cert.History(engV)
+	if len(missed) > 0 && missed[0].Version > engV+1 {
+		// The certifier trimmed its history above our restore point:
+		// versions in (engV, missed[0].Version) are gone and can never
+		// be applied here. Serving anyway would be silent divergence —
+		// fail loudly and stay crashed.
+		r.Crash()
+		return fmt.Errorf("replica %d: recovery needs history from version %d but the certifier's starts at %d (trimmed below our restore point)",
+			r.cfg.ID, engV+1, missed[0].Version)
+	}
 	r.mu.Lock()
+	// Crash discards applied-but-unlogged runs from the replica's
+	// buffers; realign the durable log so it does not park every future
+	// run behind versions that will never be logged again.
+	r.dur.Realign(engV + 1)
 	for _, ref := range missed {
-		if ref.Version > r.eng.Version() {
+		if ref.Version > r.engine().Version() {
 			r.reorder[ref.Version] = ref
 		}
 		// Every replayed version was certified — and possibly
@@ -1070,6 +1131,24 @@ func (r *Replica) Recover() error {
 	r.applyReadyLocked()
 	r.mu.Unlock()
 	return nil
+}
+
+// RecoverFrom reattaches a crashed replica around a replacement
+// backend — the disk-restart path. The process died (the old backend
+// was abandoned mid-write, kill -9 style), a new backend was recovered
+// from its checkpoint + WAL suffix, and the replica resumes from the
+// recovered Vlocal: the certifier backfills only the history suffix
+// the durable state missed.
+func (r *Replica) RecoverFrom(b storage.Backend) error {
+	r.mu.Lock()
+	if !r.crashed {
+		r.mu.Unlock()
+		return errors.New("replica: RecoverFrom on a live replica")
+	}
+	r.eng.Store(b.Engine())
+	r.dur = b
+	r.mu.Unlock()
+	return r.Recover()
 }
 
 // Crashed reports whether the replica is currently detached.

@@ -37,23 +37,30 @@ func newRig(t *testing.T, n int, earlyCert bool) *rig {
 
 func loadKV(t *testing.T, eng *storage.Engine) {
 	t.Helper()
+	if err := kvBoot(eng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// kvBoot is loadKV as a deterministic bootstrap function — the form a
+// durable backend replays on recovery from an empty data directory.
+func kvBoot(eng *storage.Engine) error {
 	err := eng.CreateTable(&storage.Schema{
 		Table:   "kv",
 		Columns: []storage.Column{{Name: "k", Type: storage.TInt}, {Name: "v", Type: storage.TString}},
 		Key:     []string{"k"},
 	})
 	if err != nil {
-		t.Fatal(err)
+		return err
 	}
 	tx := eng.Begin()
 	for k := int64(0); k < 10; k++ {
 		if err := tx.Insert("kv", []any{k, "init"}); err != nil {
-			t.Fatal(err)
+			return err
 		}
 	}
-	if _, err := tx.CommitLocal(); err != nil {
-		t.Fatal(err)
-	}
+	_, err = tx.CommitLocal()
+	return err
 }
 
 func (r *rig) close() {

@@ -1,0 +1,53 @@
+package storage
+
+import "sconrep/internal/writeset"
+
+// Backend is the pluggable storage layer behind a replica: an MVCC
+// engine plus whatever durability the implementation provides. The
+// replica applies refresh and local commits to Engine() exactly as
+// before, and additionally reports every applied run to LogApplied so
+// a durable backend can persist it.
+//
+// Two implementations exist: MemBackend wraps the in-memory engine
+// with no-op durability (the paper's configuration — replicas run with
+// log forcing disabled and rebuild from the certifier's history), and
+// pstore.Store logs applied writesets to a WAL and takes asynchronous
+// fuzzy checkpoints so a restarted replica backfills only the history
+// suffix.
+type Backend interface {
+	// Engine returns the MVCC engine this backend persists. It is
+	// fixed for the lifetime of the backend.
+	Engine() *Engine
+
+	// LogApplied records that wss[i] was applied at startVersion+i.
+	// Runs may arrive out of version order when the applier and a
+	// local commit race; the backend is responsible for sequencing
+	// them. Durable backends append without forcing: losing the tail
+	// is safe because the certifier backfills it on recovery. For the
+	// same reason an error is advisory, not fatal — a backend that can
+	// no longer log degrades to a deeper recovery, not to divergence.
+	LogApplied(wss []*writeset.WriteSet, startVersion uint64) error
+
+	// Realign tells the backend the next version the replica will
+	// apply. Crash recovery may discard applied-but-unlogged versions
+	// from the replica's buffers; realigning lets the backend close
+	// the resulting log gap instead of waiting forever for versions
+	// that will never be logged.
+	Realign(nextVersion uint64)
+
+	// Close releases the backend's resources gracefully.
+	Close() error
+}
+
+// MemBackend is the no-durability backend: the engine alone.
+type MemBackend struct {
+	Eng *Engine
+}
+
+func (m MemBackend) Engine() *Engine { return m.Eng }
+
+func (m MemBackend) LogApplied([]*writeset.WriteSet, uint64) error { return nil }
+
+func (m MemBackend) Realign(uint64) {}
+
+func (m MemBackend) Close() error { return nil }

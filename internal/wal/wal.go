@@ -1,16 +1,34 @@
-// Package wal provides the append-only decision log the certifier uses
-// to make certification decisions durable.
+// Package wal provides the append-only record log used for durability:
+// the certifier's decision log and the replica-side applied-writeset
+// log of the persistent storage backend.
 //
 // In the paper's design (§IV, following Tashkent) replicas run with
 // log forcing disabled; transaction durability is the certifier's
 // responsibility. The certifier appends one record per committed
 // update transaction — the assigned commit version and the full
-// writeset — and forces it before acknowledging. On recovery the log
-// is replayed to rebuild the certifier's version counter and the
-// refresh history replicas may still need.
+// writeset — and forces it before acknowledging. Replica-side logs
+// (internal/pstore) append without forcing: a lost suffix is refetched
+// from the certifier on recovery.
 //
-// Records are length-prefixed gob frames with a CRC32 guard, so a torn
-// final write is detected and truncated rather than misread.
+// # Frame format
+//
+// Each record is a gob payload wrapped in a 14-byte header:
+//
+//	[0:2]   magic 0x53 0x57 ("SW")
+//	[2:6]   payload size, little-endian uint32 (capped at MaxRecordSize)
+//	[6:10]  CRC32 (IEEE) of the payload
+//	[10:14] CRC32 (IEEE) of header bytes [0:10]
+//
+// The header CRC makes the size field trustworthy before any payload
+// allocation happens, so a bit flip in a length prefix cannot turn
+// into a multi-gigabyte allocation. On replay, a record that fails
+// either CRC triggers a resync scan: if a later fully framed record
+// exists, the damage is mid-log and replay fails with ErrCorrupt; if
+// nothing valid follows, the damaged record is the torn tail of a
+// crashed append and is discarded cleanly. ReplayN reports the byte
+// length of the valid prefix so callers can truncate the file before
+// appending — appending after a torn tail without truncating would
+// strand every later record behind garbage.
 package wal
 
 import (
@@ -27,7 +45,7 @@ import (
 	"sconrep/internal/writeset"
 )
 
-// Record is one durable certification decision.
+// Record is one durable log entry: a commit version and its writeset.
 type Record struct {
 	Version  uint64
 	TxnID    uint64
@@ -38,8 +56,19 @@ type Record struct {
 // the tail, where truncation is the expected crash artifact).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+const (
+	headerSize = 14
+	magic0     = 0x53
+	magic1     = 0x57
+
+	// MaxRecordSize bounds a single record's payload. A size field
+	// beyond it is treated as corruption even if the header CRC
+	// matches (it cannot have been written by Append).
+	MaxRecordSize = 64 << 20
+)
+
 // Log is an append-only record log. The zero value is not usable; use
-// Open or NewMemory.
+// Open, NewMemory, or NewWriter.
 type Log struct {
 	mu     sync.Mutex
 	w      io.Writer
@@ -57,7 +86,22 @@ func NewMemory() *Log {
 	return l
 }
 
+// NewWriter returns a log appending to w without forcing. Used for
+// replica-side applied-writeset logs, which the paper runs non-forced:
+// losing the tail is safe because the certifier backfills it. If w is
+// an io.Closer, Close closes it.
+func NewWriter(w io.Writer) *Log {
+	l := &Log{w: w}
+	if c, ok := w.(io.Closer); ok {
+		l.closer = c
+	}
+	return l
+}
+
 // Open opens (creating if needed) a file-backed log for appending.
+// Appends are forced (fsync) — this is the certifier's durability
+// path. If the file may end in a torn record from a previous crash,
+// replay with ReplayFileN and truncate to the valid prefix first.
 func Open(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -66,23 +110,28 @@ func Open(path string) (*Log, error) {
 	return &Log{w: f, closer: f, syncer: f}, nil
 }
 
-// Append writes one record and forces it to stable storage (for
-// file-backed logs).
+// Append writes one record and, for forced logs, syncs it to stable
+// storage.
 func (l *Log) Append(r *Record) error {
 	var payload bytes.Buffer
+	payload.Write(make([]byte, headerSize)) // header placeholder, filled below
 	if err := gob.NewEncoder(&payload).Encode(r); err != nil {
 		return fmt.Errorf("wal: encode: %w", err)
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	frame := payload.Bytes()
+	body := frame[headerSize:]
+	if len(body) > MaxRecordSize {
+		return fmt.Errorf("wal: record too large (%d bytes)", len(body))
+	}
+	frame[0] = magic0
+	frame[1] = magic1
+	binary.LittleEndian.PutUint32(frame[2:6], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[6:10], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(frame[10:14], crc32.ChecksumIEEE(frame[0:10]))
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: write: %w", err)
-	}
-	if _, err := l.w.Write(payload.Bytes()); err != nil {
+	if _, err := l.w.Write(frame); err != nil {
 		return fmt.Errorf("wal: write: %w", err)
 	}
 	if l.syncer != nil {
@@ -112,60 +161,114 @@ func (l *Log) MemoryBytes() []byte {
 }
 
 // Replay reads records from r until EOF, invoking fn for each. A
-// truncated tail (torn final write) ends replay cleanly; a checksum
-// mismatch with further bytes after it returns ErrCorrupt.
+// truncated or bit-flipped tail record (torn final write) ends replay
+// cleanly; a checksum mismatch with a valid record after it returns
+// ErrCorrupt.
 func Replay(r io.Reader, fn func(*Record) error) error {
+	_, err := ReplayN(r, fn)
+	return err
+}
+
+// ReplayN is Replay returning, additionally, the byte length of the
+// valid record prefix. Callers that will append to the same file must
+// truncate it to that length first, or records appended after a
+// discarded torn tail are unreachable on the next replay.
+func ReplayN(r io.Reader, fn func(*Record) error) (int64, error) {
 	br := &countingReader{r: r}
+	valid := int64(0)
 	for {
-		var hdr [8]byte
+		start := br.n
+		var hdr [headerSize]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF {
-				return nil
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return valid, nil // clean EOF or torn header at tail
 			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn header at tail
-			}
-			return fmt.Errorf("wal: read header: %w", err)
+			return valid, fmt.Errorf("wal: read header: %w", err)
 		}
-		size := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		size := binary.LittleEndian.Uint32(hdr[2:6])
+		if hdr[0] != magic0 || hdr[1] != magic1 ||
+			crc32.ChecksumIEEE(hdr[0:10]) != binary.LittleEndian.Uint32(hdr[10:14]) ||
+			size > MaxRecordSize {
+			return valid, resync(br, hdr[:], nil, start)
+		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn payload at tail
+				return valid, nil // torn payload at tail
 			}
-			return fmt.Errorf("wal: read payload: %w", err)
+			return valid, fmt.Errorf("wal: read payload: %w", err)
 		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			// Distinguish a torn tail from mid-log damage: if there is
-			// anything after this record, the log is corrupt.
-			var probe [1]byte
-			if _, err := br.Read(probe[:]); err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("%w at offset %d", ErrCorrupt, br.n)
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[6:10]) {
+			return valid, resync(br, hdr[:], payload, start)
 		}
 		var rec Record
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return fmt.Errorf("wal: decode: %w", err)
+			return valid, fmt.Errorf("wal: decode at offset %d: %w", start, err)
 		}
 		if err := fn(&rec); err != nil {
-			return err
+			return valid, err
 		}
+		valid = br.n
 	}
+}
+
+// resync decides whether a damaged record at offset start is a torn
+// tail (nothing framed after it — discard cleanly) or mid-log damage
+// (a later record still frames correctly — ErrCorrupt). consumed holds
+// the bytes of the damaged record already read (header, then payload
+// if it was reached).
+func resync(br io.Reader, hdr, payload []byte, start int64) error {
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("wal: read during resync: %w", err)
+	}
+	region := make([]byte, 0, len(hdr)+len(payload)+len(rest))
+	region = append(region, hdr...)
+	region = append(region, payload...)
+	region = append(region, rest...)
+	// Scan past the damaged record's own start for any later offset
+	// that frames as a record: magic, a valid header CRC, and a size
+	// that fits in the remaining bytes.
+	for i := 1; i+headerSize <= len(region); i++ {
+		if region[i] != magic0 || region[i+1] != magic1 {
+			continue
+		}
+		h := region[i : i+headerSize]
+		if crc32.ChecksumIEEE(h[0:10]) != binary.LittleEndian.Uint32(h[10:14]) {
+			continue
+		}
+		size := binary.LittleEndian.Uint32(h[2:6])
+		if size > MaxRecordSize || i+headerSize+int(size) > len(region) {
+			continue
+		}
+		if crc32.ChecksumIEEE(region[i+headerSize:i+headerSize+int(size)]) != binary.LittleEndian.Uint32(h[6:10]) {
+			continue
+		}
+		return fmt.Errorf("%w at offset %d", ErrCorrupt, start)
+	}
+	return nil // torn tail: nothing valid after the damage
 }
 
 // ReplayFile replays a file-backed log.
 func ReplayFile(path string, fn func(*Record) error) error {
+	_, err := ReplayFileN(path, fn)
+	return err
+}
+
+// ReplayFileN replays a file-backed log and returns the valid prefix
+// length (0 if the file does not exist). To reopen the log for
+// appending after a crash, truncate the file to the returned length
+// first (see Open).
+func ReplayFileN(path string, fn func(*Record) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return 0, nil
 		}
-		return fmt.Errorf("wal: open for replay: %w", err)
+		return 0, fmt.Errorf("wal: open for replay: %w", err)
 	}
 	defer f.Close()
-	return Replay(f, fn)
+	return ReplayN(f, fn)
 }
 
 type countingReader struct {

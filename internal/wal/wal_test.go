@@ -2,7 +2,9 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -113,16 +115,122 @@ func TestTornTailIsTruncated(t *testing.T) {
 	}
 }
 
+// TestTailCorruptionEveryByte is the torn-write regression: whatever
+// single byte of the final record a crash (or a failing disk) mangles
+// — header magic, size, either CRC, or payload — replay must discard
+// exactly that record and report the valid prefix before it, never an
+// error and never a short or oversized allocation.
+func TestTailCorruptionEveryByte(t *testing.T) {
+	l := NewMemory()
+	_ = l.Append(record(1))
+	_ = l.Append(record(2))
+	prefix := int64(len(l.MemoryBytes()))
+	_ = l.Append(record(3))
+	data := l.MemoryBytes()
+
+	check := func(kind string, pos int, mutated []byte) {
+		var got []uint64
+		n, err := ReplayN(bytes.NewReader(mutated), func(r *Record) error {
+			got = append(got, r.Version)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s at %d: err = %v, want nil", kind, pos, err)
+		}
+		if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Fatalf("%s at %d: replayed %v, want [1 2]", kind, pos, got)
+		}
+		if n != prefix {
+			t.Fatalf("%s at %d: valid prefix = %d, want %d", kind, pos, n, prefix)
+		}
+	}
+
+	for pos := int(prefix); pos < len(data); pos++ {
+		// Bit-flip every byte of the last record.
+		flipped := append([]byte(nil), data...)
+		flipped[pos] ^= 0xff
+		check("flip", pos, flipped)
+		// Truncate at every byte offset inside the last record.
+		check("cut", pos, data[:pos])
+	}
+}
+
+// A corrupted size field must never drive a payload allocation: the
+// header CRC catches it, and even a crafted header with a valid CRC is
+// rejected beyond MaxRecordSize.
+func TestOversizedRecordRejected(t *testing.T) {
+	hdr := make([]byte, headerSize)
+	hdr[0], hdr[1] = magic0, magic1
+	binary.LittleEndian.PutUint32(hdr[2:6], 1<<31)
+	binary.LittleEndian.PutUint32(hdr[6:10], 0)
+	binary.LittleEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(hdr[0:10]))
+	n, err := ReplayN(bytes.NewReader(hdr), func(*Record) error {
+		t.Fatal("callback on oversized record")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("oversized lone record: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+// Reopening a log that crashed mid-append must truncate the torn tail
+// before appending, or the new records land behind garbage and are
+// lost on the next replay.
+func TestTruncateTornTailThenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append(record(1))
+	_ = l.Append(record(2))
+	l.Close()
+	// Tear the tail: chop half of record 2.
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := ReplayFileN(path, func(*Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, valid); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(record(9)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	var got []uint64
+	if err := ReplayFile(path, func(r *Record) error {
+		got = append(got, r.Version)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 9 {
+		t.Fatalf("replayed %v, want [1 9]", got)
+	}
+}
+
 func TestMidLogCorruptionDetected(t *testing.T) {
 	l := NewMemory()
 	_ = l.Append(record(1))
 	_ = l.Append(record(2))
 	data := l.MemoryBytes()
-	// Flip a payload byte of the first record.
-	data[10] ^= 0xff
-	err := Replay(bytes.NewReader(data), func(*Record) error { return nil })
-	if !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("err = %v, want ErrCorrupt", err)
+	// A flip anywhere in the first record — header or payload — must be
+	// reported as corruption, because a valid record follows it.
+	for _, pos := range []int{0, 3, 7, 10, headerSize, headerSize + 5} {
+		mutated := append([]byte(nil), data...)
+		mutated[pos] ^= 0xff
+		err := Replay(bytes.NewReader(mutated), func(*Record) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
 	}
 }
 

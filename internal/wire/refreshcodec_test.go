@@ -372,8 +372,16 @@ func FuzzRefreshCodec(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded payload failed to parse: %v", err)
 		}
-		if !reflect.DeepEqual(batch, again) {
-			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", again, batch)
+		// The fixed point is asserted at the byte level: encode(again)
+		// must reproduce enc exactly. DeepEqual would be wrong here —
+		// float rows can legally hold NaN, which the codec round-trips
+		// bit-exactly but == (and so DeepEqual) reports as unequal.
+		enc2, err := appendRefreshPayload(nil, again)
+		if err != nil {
+			t.Fatalf("re-parsed payload failed to encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip diverged:\n got %x (%+v)\nwant %x (%+v)", enc2, again, enc, batch)
 		}
 	})
 }
