@@ -54,8 +54,10 @@ ci:
 
 # Seeded chaos harness: fault-injected TPC-W over the networked
 # cluster, oracle-checked in all four modes, under the race detector.
+# -run TestChaos matches both the single-sequencer runs and
+# TestChaosSharded (4-shard certifier, version-order oracle).
 # Replay one failing seed with:
-#   SCONREP_CHAOS_SEED=<s> $(GO) test -race -run TestChaos ./internal/cluster/
+#   SCONREP_CHAOS_SEED=<s> $(GO) test -race -run 'TestChaos/<mode>' ./internal/cluster/
 chaos:
 	SCONREP_CHAOS_SEEDS=8 $(GO) test -race -run TestChaos -count=1 -timeout 20m ./internal/cluster/
 
@@ -74,16 +76,19 @@ bench:
 
 # Hot-path benchmarks: group-applied refresh batches (serial, parallel
 # conflict-aware, fully-conflicting fallback) vs the seed's
-# per-writeset path, the 100k-entry History lookup, refresh streaming
+# per-writeset path, sharded certification throughput (1 vs 4
+# sequencers over disjoint / cross-shard / single-hot-table
+# workloads), the 100k-entry History lookup, refresh streaming
 # over a real TCP link in both stream codecs (gob and the negotiated
-# binary one), and disk restart (checkpoint restore + WAL replay vs
+# binary one), per-replica refresh bytes under partial shard
+# subscriptions, and disk restart (checkpoint restore + WAL replay vs
 # full history replay). Results land in BENCH_hotpath.json (committed,
 # so before/after numbers travel with the code); benchjson -require
 # fails the run if any expected benchmark went missing. Override
 # BENCHTIME for quicker smoke runs (CI uses 100ms).
 BENCHTIME ?= 1s
-HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkHistoryLookup|BenchmarkWireRefreshStream|BenchmarkTraceOverhead|BenchmarkRecovery
-HOTPATH_REQUIRE = BenchmarkRefreshApply/batched,BenchmarkRefreshApply/parallel,BenchmarkRefreshApply/conflicting,BenchmarkRefreshApply/perwriteset,BenchmarkHistoryLookup/tail,BenchmarkWireRefreshStream/gob,BenchmarkWireRefreshStream/binary,BenchmarkTraceOverhead/disabled,BenchmarkTraceOverhead/enabled,BenchmarkRecovery/restore,BenchmarkRecovery/fullhistory
+HOTPATH_BENCH = BenchmarkRefreshApply|BenchmarkCertifyThroughput|BenchmarkHistoryLookup|BenchmarkWireRefreshStream|BenchmarkWirePartialSubscription|BenchmarkTraceOverhead|BenchmarkRecovery
+HOTPATH_REQUIRE = BenchmarkRefreshApply/batched,BenchmarkRefreshApply/parallel,BenchmarkRefreshApply/conflicting,BenchmarkRefreshApply/perwriteset,BenchmarkCertifyThroughput/1shard,BenchmarkCertifyThroughput/4shard-disjoint,BenchmarkCertifyThroughput/4shard-crossmix,BenchmarkCertifyThroughput/4shard-conflicting,BenchmarkHistoryLookup/tail,BenchmarkWireRefreshStream/gob,BenchmarkWireRefreshStream/binary,BenchmarkWirePartialSubscription/full,BenchmarkWirePartialSubscription/half,BenchmarkWirePartialSubscription/quarter,BenchmarkTraceOverhead/disabled,BenchmarkTraceOverhead/enabled,BenchmarkRecovery/restore,BenchmarkRecovery/fullhistory
 bench-hotpath:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem -benchtime $(BENCHTIME) \
 		./internal/replica/ ./internal/certifier/ ./internal/wire/ ./internal/pstore/ \

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/pstore"
 	"sconrep/internal/replica"
+	"sconrep/internal/shard"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
 	"sconrep/internal/wal"
@@ -62,7 +64,16 @@ func main() {
 	streamGrace := flag.Duration("stream-grace", 500*time.Millisecond, "replica role: how long after losing the refresh stream the replica keeps serving; must stay below -sub-lease")
 	applyWorkers := flag.Int("apply-workers", 0, "replica role: width of the conflict-aware parallel refresh applier (0 = default, 1 = serial group apply)")
 	maxApplyBatch := flag.Int("max-apply-batch", 0, "replica role: refresh group-apply batch bound (0 = default)")
+	shards := flag.Int("shards", 1, "certifier/replica/gateway roles: number of certification shards; every role of one deployment must agree")
+	shardTables := flag.String("shard-tables", "", "explicit table→shard pins as table=shard[,table=shard...]; unlisted tables hash over [0,shards). Must be identical on every role")
+	serveShards := flag.String("serve-shards", "", "replica role: comma-separated shard IDs this replica subscribes to (empty = all); versions certified elsewhere arrive as skip markers")
+	replicaShards := flag.String("replica-shards", "", "gateway role: per-replica served shards as idx=shard[+shard...][,idx=...] matching each replica's -serve-shards (replicas absent from the list serve all shards); enables shard-aware routing")
 	flag.Parse()
+
+	smap, err := buildShardMap(*shards, *shardTables)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	wireOpts := []wire.Option{
 		wire.WithTimeouts(wire.Timeouts{Call: *callTimeout, LongPoll: *longPollTimeout, Idle: *streamIdle}),
@@ -71,16 +82,95 @@ func main() {
 
 	switch *role {
 	case "certifier":
-		runCertifier(*listen, *walPath, *eager, *obsAddr, append(wireOpts, wire.WithSubLease(*subLease)))
+		runCertifier(*listen, *walPath, *eager, *obsAddr, smap, append(wireOpts, wire.WithSubLease(*subLease)))
 	case "replica":
-		runReplica(*listen, *id, *certAddr, *bootstrap, *dataDir, *checkpointEvery, *obsAddr, *obsMaxLag, *streamGrace, *applyWorkers, *maxApplyBatch, wireOpts)
+		served, err := parseShardList(*serveShards)
+		if err != nil {
+			log.Fatalf("-serve-shards: %v", err)
+		}
+		runReplica(*listen, *id, *certAddr, *bootstrap, *dataDir, *checkpointEvery, *obsAddr, *obsMaxLag, *streamGrace, *applyWorkers, *maxApplyBatch, smap, served, wireOpts)
 	case "gateway":
-		runGateway(*listen, *modeFlag, *replicasFlag, *obsAddr, wireOpts)
+		served, err := parseReplicaShards(*replicaShards)
+		if err != nil {
+			log.Fatalf("-replica-shards: %v", err)
+		}
+		runGateway(*listen, *modeFlag, *replicasFlag, *obsAddr, smap, served, wireOpts)
 	case "client":
 		runClient(*connect, *session, wireOpts)
 	default:
 		log.Fatalf("unknown -role %q (want certifier, replica, gateway, or client)", *role)
 	}
+}
+
+// buildShardMap turns the -shards / -shard-tables flags into a shard
+// map; nil when sharding is off (n <= 1).
+func buildShardMap(n int, tablesSpec string) (*shard.Map, error) {
+	if n <= 1 {
+		if tablesSpec != "" {
+			return nil, fmt.Errorf("-shard-tables requires -shards > 1")
+		}
+		return nil, nil
+	}
+	assign := map[string]int{}
+	if tablesSpec != "" {
+		for _, pair := range strings.Split(tablesSpec, ",") {
+			table, shardStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return nil, fmt.Errorf("-shard-tables: %q is not table=shard", pair)
+			}
+			s, err := strconv.Atoi(shardStr)
+			if err != nil {
+				return nil, fmt.Errorf("-shard-tables: %q: %w", pair, err)
+			}
+			assign[table] = s
+		}
+	}
+	return shard.New(n, assign)
+}
+
+// parseShardList parses a comma-separated shard ID list; nil for "".
+func parseShardList(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parseReplicaShards parses idx=shard[+shard...][,idx=...] into the
+// balancer's served map; nil for "".
+func parseReplicaShards(spec string) (map[int][]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[int][]int{}
+	for _, ent := range strings.Split(spec, ",") {
+		idxStr, shardsStr, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not idx=shard+shard", ent)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil {
+			return nil, err
+		}
+		var served []int
+		for _, f := range strings.Split(shardsStr, "+") {
+			s, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, err
+			}
+			served = append(served, s)
+		}
+		out[idx] = served
+	}
+	return out, nil
 }
 
 // serveObs starts the observability endpoint, fatally on bind errors
@@ -93,14 +183,20 @@ func serveObs(addr, role string, o obs.Options) {
 	log.Printf("%s observability on http://%s (/metrics /healthz /traces /debug/pprof)", role, srv.Addr())
 }
 
-func runCertifier(listen, walPath string, eager bool, obsAddr string, wireOpts []wire.Option) {
+func runCertifier(listen, walPath string, eager bool, obsAddr string, smap *shard.Map, wireOpts []wire.Option) {
 	var opts []certifier.Option
+	if smap != nil {
+		opts = append(opts, certifier.WithShards(smap))
+	}
 	if walPath != "" {
 		// Recover prior decisions, then append to the same log. A crash
 		// can leave a torn final frame; replay reports the valid prefix
 		// and we truncate to it so the reopened log appends cleanly
-		// instead of burying new records behind garbage.
-		fresh := certifier.New()
+		// instead of burying new records behind garbage. The validation
+		// pass must share the shard map: a sharded log interleaves
+		// per-shard record streams that a single-shard replay would
+		// reject as gapped.
+		fresh := certifier.New(opts...)
 		valid, err := wal.ReplayFileN(walPath, func(*wal.Record) error { return nil })
 		if err != nil {
 			log.Fatalf("wal replay: %v", err)
@@ -167,9 +263,12 @@ func serveCertifier(cert *certifier.Certifier, listen, obsAddr string, wireOpts 
 	select {}
 }
 
-func runReplica(listen string, id int, certAddr, bootstrap, dataDir string, checkpointEvery uint64, obsAddr string, maxLag uint64, streamGrace time.Duration, applyWorkers, maxApplyBatch int, wireOpts []wire.Option) {
+func runReplica(listen string, id int, certAddr, bootstrap, dataDir string, checkpointEvery uint64, obsAddr string, maxLag uint64, streamGrace time.Duration, applyWorkers, maxApplyBatch int, smap *shard.Map, served []int, wireOpts []wire.Option) {
 	if certAddr == "" {
 		log.Fatal("replica role requires -certifier")
+	}
+	if served != nil && smap == nil {
+		log.Fatal("-serve-shards requires -shards > 1 (and the same -shard-tables as the certifier)")
 	}
 	var backend storage.Backend
 	var st *pstore.Store
@@ -206,7 +305,7 @@ func runReplica(listen string, id int, certAddr, bootstrap, dataDir string, chec
 	}
 	eng := backend.Engine()
 	cc := wire.DialCertifier(certAddr, id, eng.Version(),
-		append(wireOpts, wire.WithVLocal(eng.Version))...)
+		append(wireOpts, wire.WithVLocal(eng.Version), wire.WithShards(served))...)
 	rep := replica.NewWithBackend(replica.Config{
 		ID:            id,
 		EarlyCert:     true,
@@ -279,6 +378,16 @@ func runReplica(listen string, id int, certAddr, bootstrap, dataDir string, chec
 					detail["certifier_error"] = err.Error()
 					ready = false
 				} else {
+					// A partial subscription deliberately never applies
+					// unserved tables' data; their lag is meaningless and
+					// would otherwise grow without bound.
+					if served != nil {
+						for t := range certTV {
+							if !shard.Covers(served, []int{smap.Of(t)}) {
+								delete(certTV, t)
+							}
+						}
+					}
 					names := make([]string, 0, len(certTV))
 					for t := range certTV {
 						names = append(names, t)
@@ -333,7 +442,7 @@ func loadBootstrap(eng *storage.Engine, path string) error {
 	return nil
 }
 
-func runGateway(listen, modeFlag, replicasFlag, obsAddr string, wireOpts []wire.Option) {
+func runGateway(listen, modeFlag, replicasFlag, obsAddr string, smap *shard.Map, served map[int][]int, wireOpts []wire.Option) {
 	mode, err := core.ParseMode(modeFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -341,10 +450,16 @@ func runGateway(listen, modeFlag, replicasFlag, obsAddr string, wireOpts []wire.
 	if replicasFlag == "" {
 		log.Fatal("gateway role requires -replicas")
 	}
+	if served != nil && smap == nil {
+		log.Fatal("-replica-shards requires -shards > 1 (and the same -shard-tables as the certifier)")
+	}
 	addrs := strings.Split(replicasFlag, ",")
 	gw, err := wire.ServeGateway(listen, mode, addrs, wireOpts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if smap != nil {
+		gw.Balancer().SetShardRouting(smap, served)
 	}
 	if obsAddr != "" {
 		reg := obs.NewRegistry()

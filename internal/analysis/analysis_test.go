@@ -19,6 +19,14 @@ func TestTableSet(t *testing.T) {
 	analysistest.Run(t, fixture("tableset"), analysis.TableSet)
 }
 
+// TestTableSetShard covers the shard-map checks: a declared table
+// missing from ShardMap, a cross-shard transaction absent from
+// CrossShardTxns, a single-shard transaction listed anyway, and a
+// listed name with no TxnNames entry.
+func TestTableSetShard(t *testing.T) {
+	analysistest.Run(t, fixture("tablesetshard"), analysis.TableSet)
+}
+
 func TestLockCheck(t *testing.T) {
 	analysistest.Run(t, fixture("lockcheck"), analysis.LockCheck)
 }

@@ -35,6 +35,17 @@ import (
 // of a transaction's Execs must live in the function that calls
 // Begin. Anything it cannot resolve statically is itself an Error —
 // the convention is what makes the table-sets provable.
+//
+// When the package also declares a certification shard map
+// (`var ShardMap = map[string]int{...}`, optionally with
+// `var CrossShardTxns = []string{...}`), the analyzer additionally
+// proves the declared table-sets respect it: a declared table missing
+// from ShardMap is an Error (it would silently hash to a shard nobody
+// audited), a transaction whose table-set spans more than one shard
+// but is absent from CrossShardTxns is an Error (its cross-shard
+// certification cost is undeclared), and a CrossShardTxns entry that
+// is single-shard — or names no transaction at all — is drift the
+// other way (Warning / Error).
 var TableSet = &Analyzer{
 	Name: "tableset",
 	Doc:  "declared FSC table-sets must match the tables transaction bodies touch",
@@ -159,7 +170,160 @@ func runTableSet(pass *Pass) error {
 				name, t, d.via[t])
 		}
 	}
+
+	checkShardMap(pass, declared)
 	return nil
+}
+
+// checkShardMap diffs the declared table-sets against the package's
+// shard map, if it declares one: every declared table must be mapped,
+// and CrossShardTxns must be exactly the transactions whose table-sets
+// span shards.
+func checkShardMap(pass *Pass, declared map[string]*txnDecl) {
+	smap := collectShardMap(pass)
+	if smap == nil {
+		return // package declares no shard map; nothing to prove
+	}
+	cross := collectCrossShardTxns(pass)
+	for name, pos := range cross {
+		if _, ok := declared[name]; !ok {
+			pass.Reportf(pos, Error,
+				"CrossShardTxns lists %q, which is not declared in TxnNames", name)
+		}
+	}
+
+	names := make([]string, 0, len(declared))
+	for n := range declared {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := declared[name]
+		shards := map[int]bool{}
+		unmapped := false
+		tables := make([]string, 0, len(d.tables))
+		for t := range d.tables {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		for _, t := range tables {
+			sh, ok := smap[t]
+			if !ok {
+				pass.Reportf(d.pos, Error,
+					"transaction %q declares table %q (via %s) missing from ShardMap: it would hash to an unaudited shard",
+					name, t, d.via[t])
+				unmapped = true
+				continue
+			}
+			shards[sh] = true
+		}
+		if unmapped {
+			continue // the span below would be meaningless
+		}
+		pos, listed := cross[name]
+		switch {
+		case len(shards) > 1 && !listed:
+			pass.Reportf(d.pos, Error,
+				"transaction %q spans %d shards but is not listed in CrossShardTxns: its reserve/seal certification cost is undeclared",
+				name, len(shards))
+		case len(shards) <= 1 && listed:
+			pass.Reportf(pos, Warning,
+				"transaction %q is listed in CrossShardTxns but its table-set is single-shard", name)
+		}
+	}
+}
+
+// collectShardMap parses a package-level
+// `var ShardMap = map[string]int{...}` literal. Nil if absent.
+func collectShardMap(pass *Pass) map[string]int {
+	var out map[string]int
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "ShardMap" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				if out == nil {
+					out = map[string]int{}
+				}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					table, ok := stringLit(kv.Key)
+					if !ok {
+						pass.Reportf(kv.Pos(), Error, "ShardMap key is not a string literal")
+						continue
+					}
+					sh, ok := intLit(kv.Value)
+					if !ok {
+						pass.Reportf(kv.Value.Pos(), Error,
+							"ShardMap[%q] value is not an integer literal; the shard assignment cannot be proven", table)
+						continue
+					}
+					out[table] = sh
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectCrossShardTxns parses a package-level
+// `var CrossShardTxns = []string{...}` literal into name → position.
+// Empty (not nil) if absent: with a ShardMap declared, no list means
+// every transaction claims to be single-shard.
+func collectCrossShardTxns(pass *Pass) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "CrossShardTxns" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					name, ok := stringLit(elt)
+					if !ok {
+						pass.Reportf(elt.Pos(), Error, "CrossShardTxns entry is not a string literal")
+						continue
+					}
+					out[name] = elt.Pos()
+				}
+			}
+		}
+	}
+	return out
+}
+
+func intLit(e ast.Expr) (int, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	n, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // collectPrepared maps package-level `name, _ = sql.Prepare(lit)`

@@ -1,0 +1,42 @@
+// Fixture for the tableset analyzer's shard-map checks: a workload
+// package declaring a ShardMap and CrossShardTxns alongside its
+// TxnNames registry. The declared table-sets must respect the static
+// shard map, and CrossShardTxns must be exactly the transactions whose
+// table-sets span shards.
+package tablesetshard
+
+type Prepared struct{ SQL string }
+
+func Prepare(src string) (*Prepared, error) { return &Prepared{SQL: src}, nil }
+
+var (
+	stReadT1, _  = Prepare(`SELECT a FROM t1 WHERE a = ?`)
+	stWriteT2, _ = Prepare(`UPDATE t2 SET b = ? WHERE a = ?`)
+	stReadT3, _  = Prepare(`SELECT a FROM t3 WHERE a = ?`)
+	stReadT4, _  = Prepare(`SELECT a FROM t4 WHERE a = ?`)
+)
+
+var TxnNames = map[string][]*Prepared{
+	// Single-shard (t1 → 0), not listed: fine.
+	"fix.single": {stReadT1},
+	// Cross-shard (t1 → 0, t2 → 1), listed: fine.
+	"fix.cross": {stReadT1, stWriteT2},
+	// Cross-shard (t1 → 0, t3 → 1) but never listed.
+	"fix.unlisted": {stReadT1, stReadT3}, // want `transaction "fix.unlisted" spans 2 shards but is not listed in CrossShardTxns`
+	// t4 is missing from ShardMap entirely.
+	"fix.unmapped": {stReadT4}, // want `transaction "fix.unmapped" declares table "t4" \(via stReadT4\) missing from ShardMap`
+	// Single-shard (t2 → 1) yet listed below.
+	"fix.overlisted": {stWriteT2},
+}
+
+var ShardMap = map[string]int{
+	"t1": 0,
+	"t2": 1,
+	"t3": 1,
+}
+
+var CrossShardTxns = []string{
+	"fix.cross",
+	"fix.overlisted", // want `transaction "fix.overlisted" is listed in CrossShardTxns but its table-set is single-shard`
+	"fix.ghost",      // want `CrossShardTxns lists "fix.ghost", which is not declared in TxnNames`
+}

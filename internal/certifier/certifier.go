@@ -7,6 +7,14 @@
 // what lets replicas run with non-forced logs (Tashkent-style
 // durability) and lets the load balancer track versions without
 // coordination.
+//
+// Beyond the paper's single sequencer, the certifier can be
+// partitioned into per-shard sequencers keyed by table groups
+// (WithShards): transactions whose writesets fall in one shard certify
+// with zero shared locking against other shards, cross-shard
+// transactions lock their involved sequencers in ascending shard-ID
+// order, and versions are drawn from one global dense counter so every
+// replica still applies one contiguous version order.
 package certifier
 
 import (
@@ -16,10 +24,12 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sconrep/internal/latency"
 	"sconrep/internal/obs"
 	"sconrep/internal/obs/dtrace"
+	"sconrep/internal/shard"
 	"sconrep/internal/wal"
 	"sconrep/internal/writeset"
 )
@@ -35,6 +45,12 @@ type Refresh struct {
 	// clone so this envelope — copied by value through mailbox rings,
 	// reorder buffers, and group-apply batches — stays exactly as small
 	// as before tracing.
+	//
+	// WS is nil for a version skip marker: the version was certified on
+	// a shard the receiving replica does not subscribe to (or its
+	// record was lost with a crashed certifier before anyone saw it),
+	// so the replica advances its version counter without applying
+	// anything.
 	WS *writeset.WriteSet
 }
 
@@ -48,6 +64,12 @@ type Decision struct {
 // the certifier's trimmed conflict window; the transaction must abort
 // conservatively.
 var ErrSnapshotTooOld = errors.New("certifier: snapshot below certification window")
+
+// MaxHistoryBatch caps how many refreshes one History call returns. A
+// recovering replica that is far behind loops over pages instead of
+// receiving (and allocating, and framing onto the wire) its entire
+// missed suffix in one response.
+const MaxHistoryBatch = 4096
 
 type historyEntry struct {
 	txnID   uint64
@@ -76,51 +98,60 @@ type memoEntry struct {
 	dec      Decision
 }
 
-// memoCap bounds the decision memo (FIFO eviction). It only needs to
-// cover the window between a lost certify response and its retry, so a
-// few thousand decisions is plenty.
+// memoCap bounds each shard's decision memo (FIFO ring eviction). It
+// only needs to cover the window between a lost certify response and
+// its retry, so a few thousand decisions is plenty.
 const memoCap = 8192
+
+// subscriber is one replica's refresh attachment: its mailbox plus the
+// set of shards it serves (nil = all shards). Versions certified
+// entirely on unserved shards are delivered as skip markers (nil
+// writeset) so the replica's contiguous version order survives partial
+// subscription.
+type subscriber struct {
+	mb *mailbox
+	// serves[shard] reports subscription to that shard; nil serves all.
+	serves []bool
+}
+
+func (s *subscriber) servesAny(shards []int) bool {
+	if s.serves == nil {
+		return true
+	}
+	for _, id := range shards {
+		if id < len(s.serves) && s.serves[id] {
+			return true
+		}
+	}
+	return false
+}
 
 // Certifier orders and certifies update transactions. All methods are
 // safe for concurrent use.
 type Certifier struct {
-	mu sync.Mutex
-	// version is the latest assigned commit version.
-	// guarded by mu
-	version uint64
-	// index is the conflict index over the certification window.
-	// guarded by mu
-	index *writeset.Index
+	// smap keys tables to sequencers; immutable after New.
+	smap *shard.Map
+	// seqs holds one sequencer per shard; immutable after New.
+	seqs []*sequencer
+	// version is the latest assigned commit version — one global dense
+	// counter, advanced while holding the assigning transaction's
+	// shard locks so each shard's history stays version-sorted.
+	version atomic.Uint64
 	// floor: snapshots below floor cannot be certified.
+	floor atomic.Uint64
+
+	mu sync.Mutex
+	// subs maps replica ID to its refresh subscriber.
 	// guarded by mu
-	floor uint64
-	// history is the refresh log over the certification window.
-	// guarded by mu
-	history []historyEntry
-	// subs maps replica ID to its refresh mailbox.
-	// guarded by mu
-	subs map[int]*mailbox
+	subs map[int]*subscriber
 	log  *wal.Log
 	lat  *latency.Source
-	glog *groupLog
 
 	// eager mode bookkeeping: per-version apply counters.
 	eager bool
 	// waits tracks outstanding eager global-commit waits.
 	// guarded by mu
 	waits map[uint64]*eagerWait
-
-	// Commit-decision memo for retried certification requests (a lost
-	// response must not turn into a duplicate version).
-	// guarded by mu
-	memo map[memoKey]memoEntry
-	// guarded by mu
-	memoOrder []memoKey
-
-	// tableVers is the latest commit version that wrote each table —
-	// the certifier side of the per-table replication-lag gauges.
-	// guarded by mu
-	tableVers map[string]uint64
 
 	// Live-observability counters (nil-safe no-ops until EnableObs).
 	obsCommits *obs.Counter
@@ -135,7 +166,10 @@ type Certifier struct {
 // Option configures a Certifier.
 type Option func(*Certifier)
 
-// WithWAL makes decisions durable in the given log.
+// WithWAL makes decisions durable in the given log. With shards, every
+// sequencer's group-commit stream appends to this one log (Append is
+// thread-safe); records from different shards interleave, each shard's
+// records in its own order, and recovery re-sorts by version.
 func WithWAL(l *wal.Log) Option { return func(c *Certifier) { c.log = l } }
 
 // WithLatency injects the simulated certification costs.
@@ -145,20 +179,46 @@ func WithLatency(s *latency.Source) Option { return func(c *Certifier) { c.lat =
 // consistency.
 func WithEager() Option { return func(c *Certifier) { c.eager = true } }
 
+// WithShards partitions certification by the given table→shard map.
+// Nil (or a single-shard map) keeps the paper's single sequencer.
+func WithShards(m *shard.Map) Option { return func(c *Certifier) { c.smap = m } }
+
 // New returns a certifier at version 0.
 func New(opts ...Option) *Certifier {
 	c := &Certifier{
-		index:     writeset.NewIndex(),
-		subs:      make(map[int]*mailbox),
-		waits:     make(map[uint64]*eagerWait),
-		memo:      make(map[memoKey]memoEntry),
-		tableVers: make(map[string]uint64),
+		subs:  make(map[int]*subscriber),
+		waits: make(map[uint64]*eagerWait),
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	c.glog = newGroupLog(c.log, c.lat)
+	if c.smap == nil {
+		c.smap = shard.Single()
+	}
+	c.seqs = make([]*sequencer, c.smap.N())
+	for i := range c.seqs {
+		c.seqs[i] = newSequencer(i, c.log, c.lat)
+	}
 	return c
+}
+
+// Shards returns the number of certification shards.
+func (c *Certifier) Shards() int { return len(c.seqs) }
+
+// ShardMap returns the table→shard assignment.
+func (c *Certifier) ShardMap() *shard.Map { return c.smap }
+
+// lockAll acquires every sequencer lock in shard-ID order.
+func (c *Certifier) lockAll() {
+	for _, s := range c.seqs {
+		s.mu.Lock()
+	}
+}
+
+func (c *Certifier) unlockAll() {
+	for i := len(c.seqs) - 1; i >= 0; i-- {
+		c.seqs[i].mu.Unlock()
+	}
 }
 
 // StartAt initializes the version counter of a fresh certifier to v —
@@ -170,38 +230,55 @@ func New(opts ...Option) *Certifier {
 // StartAt must supersede. Once any decision exists the counter is
 // locked — moving it would re-assign versions already applied.
 func (c *Certifier) StartAt(v uint64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.history) != 0 {
-		return errors.New("certifier: StartAt after decisions were certified")
+	c.lockAll()
+	defer c.unlockAll()
+	for _, s := range c.seqs {
+		if len(s.history) != 0 {
+			return errors.New("certifier: StartAt after decisions were certified")
+		}
 	}
-	if v < c.version {
+	if v < c.version.Load() {
 		return errors.New("certifier: StartAt below current version")
 	}
-	c.version = v
-	c.glog.startAt(v)
+	c.version.Store(v)
 	return nil
 }
 
 // Version returns the latest assigned commit version.
 func (c *Certifier) Version() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.version
+	return c.version.Load()
 }
 
-// Subscribe registers a replica to receive refresh writesets and
-// returns its mailbox handle. Re-subscribing (recovery) replaces the
-// previous mailbox.
+// Subscribe registers a replica to receive every shard's refresh
+// stream and returns its mailbox handle. Re-subscribing (recovery)
+// replaces the previous mailbox.
 func (c *Certifier) Subscribe(replicaID int) *Subscription {
+	return c.SubscribeShards(replicaID, nil)
+}
+
+// SubscribeShards registers a replica for the refresh streams of the
+// given shards only (nil or empty = all shards). Versions certified
+// entirely on other shards arrive as skip markers — refreshes with a
+// nil writeset — so the replica's version order stays contiguous while
+// it receives only the row data it serves.
+func (c *Certifier) SubscribeShards(replicaID int, shards []int) *Subscription {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.subs[replicaID]; ok {
-		old.close()
+		old.mb.close()
 	}
-	mb := newMailbox()
-	c.subs[replicaID] = mb
-	return &Subscription{c: c, replicaID: replicaID, mb: mb}
+	sub := &subscriber{mb: newMailbox()}
+	if len(shards) > 0 && len(c.seqs) > 1 {
+		serves := make([]bool, len(c.seqs))
+		for _, id := range shards {
+			if id >= 0 && id < len(serves) {
+				serves[id] = true
+			}
+		}
+		sub.serves = serves
+	}
+	c.subs[replicaID] = sub
+	return &Subscription{c: c, replicaID: replicaID, mb: sub.mb}
 }
 
 // Unsubscribe detaches a replica (crash). Pending eager waits stop
@@ -213,8 +290,8 @@ func (c *Certifier) Unsubscribe(replicaID int) {
 }
 
 func (c *Certifier) unsubscribeLocked(replicaID int) {
-	if mb, ok := c.subs[replicaID]; ok {
-		mb.close()
+	if sub, ok := c.subs[replicaID]; ok {
+		sub.mb.close()
 		delete(c.subs, replicaID)
 	}
 	// A crashed replica will never ack: stop waiting for it.
@@ -243,7 +320,7 @@ type Subscription struct {
 func (s *Subscription) Cancel() {
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
-	if s.c.subs[s.replicaID] == s.mb {
+	if cur, ok := s.c.subs[s.replicaID]; ok && cur.mb == s.mb {
 		s.c.unsubscribeLocked(s.replicaID)
 		return
 	}
@@ -282,8 +359,14 @@ func (c *Certifier) EnableObs(reg *obs.Registry) {
 		"Latest assigned commit version (the system-wide Vsystem source).",
 		func() float64 { return float64(c.Version()) })
 	reg.GaugeFunc("sconrep_certifier_group_log_pending",
-		"Decision-log records enqueued for the group-commit flush but not yet durable.",
-		func() float64 { return float64(c.glog.pendingLen()) })
+		"Decision-log records enqueued for the group-commit flush but not yet durable, across shards.",
+		func() float64 {
+			n := 0
+			for _, s := range c.seqs {
+				n += s.glog.pendingLen()
+			}
+			return float64(n)
+		})
 	reg.GaugeFunc("sconrep_certifier_eager_outstanding",
 		"Committed versions still waiting for every replica's apply acknowledgment (eager mode).",
 		func() float64 {
@@ -292,11 +375,15 @@ func (c *Certifier) EnableObs(reg *obs.Registry) {
 			return float64(len(c.waits))
 		})
 	reg.GaugeFunc("sconrep_certifier_history_len",
-		"Refresh history entries retained for recovery catch-up (trimmed by TrimBelow).",
+		"Refresh history entries retained for recovery catch-up (trimmed by TrimBelow), across shards.",
 		func() float64 {
-			c.mu.Lock()
-			defer c.mu.Unlock()
-			return float64(len(c.history))
+			n := 0
+			for _, s := range c.seqs {
+				s.mu.Lock()
+				n += len(s.history)
+				s.mu.Unlock()
+			}
+			return float64(n)
 		})
 	reg.GaugeFunc("sconrep_certifier_subscribed_replicas",
 		"Replicas currently attached to the refresh stream.",
@@ -311,8 +398,8 @@ func (c *Certifier) EnableObs(reg *obs.Registry) {
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			out := make(map[string]float64, len(c.subs))
-			for id, mb := range c.subs {
-				out[strconv.Itoa(id)] = float64(mb.len())
+			for id, sub := range c.subs {
+				out[strconv.Itoa(id)] = float64(sub.mb.len())
 			}
 			return out
 		})
@@ -328,11 +415,13 @@ func (c *Certifier) EnableTracing(tr *dtrace.Tracer) { c.tracer.Store(tr) }
 // table — the authoritative side of per-table replication lag. Tables
 // never written do not appear.
 func (c *Certifier) TableVersions() map[string]uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]uint64, len(c.tableVers))
-	for t, v := range c.tableVers {
-		out[t] = v
+	out := make(map[string]uint64)
+	for _, s := range c.seqs {
+		s.mu.Lock()
+		for t, v := range s.tableVers {
+			out[t] = v
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -350,6 +439,16 @@ func (c *Certifier) Certify(origin int, txnID, snapshot uint64, ws *writeset.Wri
 // is recorded as a certifier.certify span parented under sc, and the
 // fanned-out refreshes carry the certify span so remote applies join
 // the same trace.
+//
+// Sharded certification runs in two steps. Reserve: lock every
+// involved sequencer in ascending shard-ID order (deadlock-free; two
+// conflicting transactions share a table and therefore a shard, so
+// first-committer-wins serialization is preserved), run the conflict
+// test against each involved shard's index, and draw the next global
+// version. Seal: install the writeset in each involved index, record
+// the decision in the home shard (lowest involved ID), and release the
+// locks; durability and fan-out then proceed through the home shard's
+// group log without blocking other shards.
 func (c *Certifier) CertifyCtx(origin int, txnID, snapshot uint64, ws *writeset.WriteSet, sc dtrace.SpanContext) (Decision, error) {
 	if ws.Empty() {
 		return Decision{}, fmt.Errorf("certifier: empty writeset for txn %d (read-only transactions commit locally)", txnID)
@@ -357,51 +456,72 @@ func (c *Certifier) CertifyCtx(origin int, txnID, snapshot uint64, ws *writeset.
 	span := c.tracer.Load().StartSpan("certifier.certify", sc)
 	defer span.End()
 	span.SetAttr("origin", strconv.Itoa(origin))
-	c.mu.Lock()
+	shardIDs := c.smap.OfTables(ws.Tables())
+	home := c.seqs[shardIDs[0]]
+
+	// Reserve: involved shard locks, ascending.
+	for _, id := range shardIDs {
+		c.seqs[id].mu.Lock()
+	}
+	unlock := func() {
+		for i := len(shardIDs) - 1; i >= 0; i-- {
+			c.seqs[shardIDs[i]].mu.Unlock()
+		}
+	}
 	// Retried request (the response was lost in transit): return the
 	// original commit decision instead of assigning a second version.
 	// Only commits are memoized — re-certifying an aborted transaction
-	// re-aborts it, since the conflict index only grows.
-	if m, ok := c.memo[memoKey{origin, txnID}]; ok && m.snapshot == snapshot {
-		c.mu.Unlock()
+	// re-aborts it, since the conflict index only grows. The memo lives
+	// in the home shard, which a retry recomputes identically from the
+	// same writeset.
+	if m, ok := home.memo[memoKey{origin, txnID}]; ok && m.snapshot == snapshot {
+		unlock()
 		span.SetAttr("decision", "memoized")
 		return m.dec, nil
 	}
-	if snapshot < c.floor {
+	if snapshot < c.floor.Load() {
 		c.obsTooOld.Inc()
-		c.mu.Unlock()
+		unlock()
 		span.SetAttr("decision", "snapshot_too_old")
 		return Decision{}, ErrSnapshotTooOld
 	}
-	if c.index.ConflictsAfter(ws, snapshot) {
-		c.obsAborts.Inc()
-		c.mu.Unlock()
-		span.SetAttr("decision", "conflict")
-		return Decision{Commit: false}, nil
+	if c.lat != nil {
+		c.lat.Certify()
+	}
+	for _, id := range shardIDs {
+		if c.seqs[id].index.ConflictsAfter(ws, snapshot) {
+			c.obsAborts.Inc()
+			unlock()
+			span.SetAttr("decision", "conflict")
+			return Decision{Commit: false}, nil
+		}
 	}
 	c.obsCommits.Inc()
-	c.version++
-	v := c.version
+	// Seal: draw the global version while the involved locks are held
+	// (per-shard histories stay version-sorted), install, record.
+	v := c.version.Add(1)
 	cp := ws.Clone()
 	if span != nil {
 		sc := span.Context()
 		cp.Trace = &sc
 	}
-	c.index.Add(cp, v)
+	for _, id := range shardIDs {
+		c.seqs[id].index.Add(cp, v)
+	}
 	for _, t := range cp.Tables() {
-		c.tableVers[t] = v
+		s := c.seqs[c.smap.Of(t)]
+		s.tableVers[t] = v
 	}
-	c.history = append(c.history, historyEntry{txnID: txnID, version: v, origin: origin, ws: cp})
-	k := memoKey{origin, txnID}
-	c.memo[k] = memoEntry{snapshot: snapshot, dec: Decision{Commit: true, Version: v}}
-	c.memoOrder = append(c.memoOrder, k)
-	if len(c.memoOrder) > memoCap {
-		delete(c.memo, c.memoOrder[0])
-		c.memoOrder = c.memoOrder[1:]
-	}
+	home.history = append(home.history, historyEntry{txnID: txnID, version: v, origin: origin, ws: cp})
+	home.memoPut(memoKey{origin, txnID}, memoEntry{snapshot: snapshot, dec: Decision{Commit: true, Version: v}})
+	home.seq++
+	seqNo := home.seq
+	unlock()
+
 	if c.eager {
 		// Every subscribed replica other than the origin must apply
 		// before the global commit completes.
+		c.mu.Lock()
 		waiting := make(map[int]bool, len(c.subs))
 		for id := range c.subs {
 			if id != origin {
@@ -411,32 +531,42 @@ func (c *Certifier) CertifyCtx(origin int, txnID, snapshot uint64, ws *writeset.
 		if len(waiting) > 0 {
 			c.waits[v] = &eagerWait{waiting: waiting, done: make(chan struct{})}
 		}
+		c.mu.Unlock()
 	}
-	c.mu.Unlock()
 
 	span.SetAttr("decision", "commit")
 	span.SetAttr("version", strconv.FormatUint(v, 10))
 
-	// Durability before propagation, via group commit: records reach
-	// the log in strict version order, with one forced write amortized
-	// over each contiguous batch of concurrent committers.
+	// Durability before propagation, via the home shard's group commit:
+	// records reach the log in per-shard order, one forced write
+	// amortized over each shard's contiguous batch of concurrent
+	// committers. (Durability ordering is per shard, not global — see
+	// DESIGN.md: a version whose record is lost with a crashed
+	// certifier was never acknowledged or fanned out, and recovery
+	// replays it as a skip marker.)
 	logSpan := c.tracer.Load().StartSpan("certifier.log_append", span.Context())
-	err := c.glog.commit(v, &wal.Record{Version: v, TxnID: txnID, WriteSet: *cp})
+	err := home.glog.commit(seqNo, &wal.Record{Version: v, TxnID: txnID, WriteSet: *cp})
 	logSpan.End()
 	if err != nil {
 		return Decision{}, fmt.Errorf("certifier: durability: %w", err)
 	}
 
 	// Fan out the refresh writeset, each refresh carrying the certify
-	// span so remote applies parent under this certification. Mailbox
+	// span so remote applies parent under this certification. Replicas
+	// not subscribed to any involved shard get a skip marker (nil
+	// writeset) so their version order stays contiguous. Mailbox
 	// arrival order is not guaranteed to be version order across
 	// concurrent commits; the replica applier reorders by version.
 	c.mu.Lock()
-	for id, mb := range c.subs {
+	for id, sub := range c.subs {
 		if id == origin {
 			continue
 		}
-		mb.put(Refresh{TxnID: txnID, Version: v, Origin: origin, WS: cp})
+		r := Refresh{TxnID: txnID, Version: v, Origin: origin, WS: cp}
+		if !sub.servesAny(shardIDs) {
+			r.WS = nil
+		}
+		sub.mb.put(r)
 	}
 	c.mu.Unlock()
 	return Decision{Commit: true, Version: v}, nil
@@ -477,23 +607,150 @@ func (c *Certifier) GlobalCommitted(v uint64) <-chan struct{} {
 	return closed
 }
 
-// History returns the refresh stream with versions in (after, through],
-// for a recovering replica to catch up from its durable state. The
-// history is version-ordered by construction (entries are appended
-// under c.mu with a strictly increasing version counter, and WAL
-// replay enforces contiguity), so the cut point is found by binary
-// search — O(log n) instead of scanning the whole retained history on
-// every recovery and every wire-level resubscribe.
+// History returns one version-ordered page (at most MaxHistoryBatch
+// entries) of the refresh stream with versions above after, for a
+// recovering replica to catch up from its durable state. Callers loop
+// until an empty page; pages are contiguous, so together with the
+// caller's live subscription (established before the first History
+// call) every version is delivered exactly by one of the two paths —
+// the reorder buffer deduplicates overlap. Each shard's history is
+// version-sorted by construction, so the per-shard cut is a binary
+// search and the page a bounded k-way merge — no call scans or copies
+// the whole retained history.
+//
+// Contiguity across shards is load-bearing: a version reserved by a
+// concurrent certification that has not sealed into its shard's
+// history yet must not be skipped — a higher version on another shard
+// may have been fanned out before the caller subscribed, so truncating
+// at the gap and relying on the stream would lose it forever. History
+// therefore waits out in-flight seals (they last one certification
+// critical section) instead of returning a page with a hole.
 func (c *Certifier) History(after uint64) []Refresh {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	i := sort.Search(len(c.history), func(i int) bool { return c.history[i].version > after })
-	if i == len(c.history) {
-		return nil
+	for {
+		out, ok := c.historyPage(after)
+		if ok {
+			return out
+		}
+		// The version right above after is assigned but mid-seal on its
+		// shard; it lands as soon as the writer leaves its critical
+		// section.
+		time.Sleep(20 * time.Microsecond)
 	}
-	out := make([]Refresh, 0, len(c.history)-i)
-	for ; i < len(c.history); i++ {
-		h := &c.history[i]
+}
+
+// historyPage builds one page; ok is false when the page would start
+// at an assigned-but-not-yet-sealed version and the caller must retry.
+func (c *Certifier) historyPage(after uint64) ([]Refresh, bool) {
+	// Per-shard pages, each cut by binary search under that shard's
+	// lock only.
+	pages := make([][]historyEntry, 0, len(c.seqs))
+	for _, s := range c.seqs {
+		s.mu.Lock()
+		if p := s.historyAfter(after); len(p) > 0 {
+			pages = append(pages, p)
+		}
+		s.mu.Unlock()
+	}
+	if len(pages) == 0 {
+		// Nothing recorded above after. Versions in (after, Version()]
+		// that are still mid-seal will fan out after the caller's
+		// subscription, so an empty page is a safe "caught up".
+		return nil, true
+	}
+	if len(pages) == 1 && c.contiguous(pages[0], after) {
+		return refreshPage(pages[0]), true
+	}
+	// K-way merge by version. A gap at the front of the page means the
+	// missing version is assigned but mid-seal — retry. A gap after some
+	// progress truncates the page (the next call resumes at the gap). A
+	// front jump below the trim floor is a trimmed prefix the caller
+	// detects and resynchronizes on.
+	out := make([]Refresh, 0, MaxHistoryBatch)
+	next := after + 1
+	for len(out) < MaxHistoryBatch {
+		best := -1
+		for i, p := range pages {
+			if len(p) == 0 {
+				continue
+			}
+			if best == -1 || p[0].version < pages[best][0].version {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		h := pages[best][0]
+		if h.version != next {
+			if len(out) != 0 {
+				break
+			}
+			if after >= c.floor.Load() {
+				return nil, false
+			}
+			// Trimmed region: the page legitimately starts above
+			// after+1; the caller sees the jump and resynchronizes.
+			next = h.version
+		}
+		out = append(out, Refresh{TxnID: h.txnID, Version: h.version, Origin: -1, WS: h.ws})
+		next = h.version + 1
+		pages[best] = pages[best][1:]
+	}
+	return out, true
+}
+
+// FilterUnserved replaces the writeset of every refresh certified
+// entirely outside the given shard set with a skip marker (nil
+// writeset), in place — the history-backfill counterpart of a partial
+// refresh subscription. A nil or empty shard set serves everything and
+// returns refs untouched.
+func (c *Certifier) FilterUnserved(refs []Refresh, shards []int) []Refresh {
+	if len(shards) == 0 || len(c.seqs) == 1 {
+		return refs
+	}
+	serves := make([]bool, len(c.seqs))
+	for _, id := range shards {
+		if id >= 0 && id < len(serves) {
+			serves[id] = true
+		}
+	}
+	for i := range refs {
+		if refs[i].WS == nil {
+			continue
+		}
+		served := false
+		for _, id := range c.smap.OfTables(refs[i].WS.Tables()) {
+			if serves[id] {
+				served = true
+				break
+			}
+		}
+		if !served {
+			refs[i].WS = nil
+		}
+	}
+	return refs
+}
+
+// contiguous reports whether the page starts at after+1 (or inside the
+// trimmed region) and has no version gaps — the single-shard fast path
+// that skips the merge loop.
+func (c *Certifier) contiguous(page []historyEntry, after uint64) bool {
+	if page[0].version != after+1 && after >= c.floor.Load() {
+		return false
+	}
+	for i := 1; i < len(page); i++ {
+		if page[i].version != page[i-1].version+1 {
+			return false
+		}
+	}
+	return true
+}
+
+func refreshPage(page []historyEntry) []Refresh {
+	out := make([]Refresh, 0, len(page))
+	for i := range page {
+		h := &page[i]
 		out = append(out, Refresh{TxnID: h.txnID, Version: h.version, Origin: -1, WS: h.ws})
 	}
 	return out
@@ -504,20 +761,27 @@ func (c *Certifier) History(after uint64) []Refresh {
 // rejected with ErrSnapshotTooOld, so the watermark must not exceed
 // the oldest version any replica could still begin a transaction at.
 func (c *Certifier) TrimBelow(watermark uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if watermark <= c.floor {
-		return
-	}
-	c.floor = watermark
-	c.index.Forget(watermark)
-	keep := c.history[:0]
-	for _, h := range c.history {
-		if h.version > watermark {
-			keep = append(keep, h)
+	for {
+		old := c.floor.Load()
+		if watermark <= old {
+			return
+		}
+		if c.floor.CompareAndSwap(old, watermark) {
+			break
 		}
 	}
-	c.history = keep
+	for _, s := range c.seqs {
+		s.mu.Lock()
+		s.index.Forget(watermark)
+		keep := s.history[:0]
+		for _, h := range s.history {
+			if h.version > watermark {
+				keep = append(keep, h)
+			}
+		}
+		s.history = keep
+		s.mu.Unlock()
+	}
 }
 
 // Replicas returns the IDs of currently subscribed replicas.
@@ -532,36 +796,110 @@ func (c *Certifier) Replicas() []int {
 }
 
 // RestoreFromWAL rebuilds certifier state (version counter, conflict
-// index, history) by replaying a decision log — certifier crash
+// indexes, history) by replaying a decision log — certifier crash
 // recovery.
+//
+// Single-shard logs are strictly version-ordered, so a gap is
+// corruption. With shards, records interleave in per-shard order: the
+// replay is sorted by version, a duplicate version is corruption, and
+// a missing version — assigned by a sequencer whose record did not
+// reach the log before the crash — is replayed as a skip marker (nil
+// writeset): such a transaction was never acknowledged or fanned out,
+// so no replica and no client ever observed it.
 func (c *Certifier) RestoreFromWAL(records func(fn func(*wal.Record) error) error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.version != 0 || len(c.history) != 0 {
+	c.lockAll()
+	defer c.unlockAll()
+	if c.version.Load() != 0 {
 		return errors.New("certifier: RestoreFromWAL on non-empty certifier")
 	}
+	for _, s := range c.seqs {
+		if len(s.history) != 0 {
+			return errors.New("certifier: RestoreFromWAL on non-empty certifier")
+		}
+	}
+	if len(c.seqs) == 1 {
+		if err := c.restoreSingleLocked(records); err != nil {
+			return err
+		}
+	} else if err := c.restoreShardedLocked(records); err != nil {
+		return err
+	}
+	// Continue each shard's durable log exactly where its replay ended.
+	for _, s := range c.seqs {
+		s.glog.startAt(s.seq)
+	}
+	return nil
+}
+
+// restoreSingleLocked is the legacy strict replay: one sequencer, one
+// version-ordered log stream. Caller holds every sequencer lock.
+func (c *Certifier) restoreSingleLocked(records func(fn func(*wal.Record) error) error) error {
+	s := c.seqs[0]
 	first := true
-	err := records(func(r *wal.Record) error {
+	return records(func(r *wal.Record) error {
 		if first {
 			// The first record sets the baseline: data bootstrapped at
 			// StartAt(v) makes the log begin at v+1.
 			first = false
-		} else if r.Version != c.version+1 {
-			return fmt.Errorf("certifier: wal gap: have %d, next record %d", c.version, r.Version)
+		} else if r.Version != c.version.Load()+1 {
+			return fmt.Errorf("certifier: wal gap: have %d, next record %d", c.version.Load(), r.Version)
 		}
-		c.version = r.Version
+		c.version.Store(r.Version)
 		ws := r.WriteSet.Clone()
-		c.index.Add(ws, r.Version)
+		s.index.Add(ws, r.Version)
 		for _, t := range ws.Tables() {
-			c.tableVers[t] = r.Version
+			s.tableVers[t] = r.Version
 		}
-		c.history = append(c.history, historyEntry{txnID: r.TxnID, version: r.Version, origin: -1, ws: ws})
+		s.history = append(s.history, historyEntry{txnID: r.TxnID, version: r.Version, origin: -1, ws: ws})
+		s.seq++
+		return nil
+	})
+}
+
+// restoreShardedLocked sorts the replay by version, distributes
+// records to their shards, and fills lost versions with skip markers.
+// Caller holds every sequencer lock.
+func (c *Certifier) restoreShardedLocked(records func(fn func(*wal.Record) error) error) error {
+	type rec struct {
+		version uint64
+		txnID   uint64
+		ws      *writeset.WriteSet
+	}
+	var recs []rec
+	err := records(func(r *wal.Record) error {
+		recs = append(recs, rec{version: r.Version, txnID: r.TxnID, ws: r.WriteSet.Clone()})
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	// Continue the durable log exactly where the replay ended.
-	c.glog.startAt(c.version)
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].version < recs[j].version })
+	prev := recs[0].version - 1
+	for _, r := range recs {
+		if r.version == prev {
+			return fmt.Errorf("certifier: wal corrupt: version %d recorded twice", r.version)
+		}
+		// Versions lost between durable records: reserved by a shard
+		// whose group flush never completed. Nobody observed them;
+		// replicas advance past them without applying.
+		for v := prev + 1; v < r.version; v++ {
+			c.seqs[0].history = append(c.seqs[0].history, historyEntry{version: v, origin: -1, ws: nil})
+		}
+		ids := c.smap.OfTables(r.ws.Tables())
+		home := c.seqs[ids[0]]
+		for _, id := range ids {
+			c.seqs[id].index.Add(r.ws, r.version)
+		}
+		for _, t := range r.ws.Tables() {
+			c.seqs[c.smap.Of(t)].tableVers[t] = r.version
+		}
+		home.history = append(home.history, historyEntry{txnID: r.txnID, version: r.version, origin: -1, ws: r.ws})
+		home.seq++
+		prev = r.version
+	}
+	c.version.Store(prev)
 	return nil
 }

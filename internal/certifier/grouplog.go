@@ -7,25 +7,30 @@ import (
 	"sconrep/internal/wal"
 )
 
-// groupLog forces certification decisions to the log in commit-version
-// order with group commit: concurrent committers enqueue their records,
-// one of them becomes the flush leader, pays a single forced-I/O cost
-// for the whole contiguous batch, and wakes the rest.
+// groupLog forces one shard's certification decisions to the log in
+// that shard's sequence order with group commit: concurrent committers
+// enqueue their records, one of them becomes the flush leader, pays a
+// single forced-I/O cost for the whole contiguous batch, and wakes the
+// rest.
 //
 // This reproduces the real certifier's behaviour: decision durability
-// is strictly ordered (no version is acknowledged before its
-// predecessors are durable) without limiting throughput to one forced
-// write per transaction.
+// is strictly ordered within the shard (no decision is acknowledged
+// before its shard predecessors are durable) without limiting
+// throughput to one forced write per transaction. Each sequencer owns
+// one groupLog keyed by its dense per-shard sequence number; the
+// single-shard configuration therefore keeps the original global
+// ordering.
 type groupLog struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	// pending holds records awaiting the group flush.
+	// pending holds records awaiting the group flush, keyed by shard
+	// sequence number.
 	// guarded by mu
 	pending map[uint64]*wal.Record
-	// logged: all versions <= logged are durable.
+	// logged: all sequence numbers <= logged are durable.
 	// guarded by mu
 	logged uint64
-	// next is the next version to write (logged+1).
+	// next is the next sequence number to write (logged+1).
 	// guarded by mu
 	next uint64
 	// flushing marks an in-flight leader flush.
@@ -46,7 +51,8 @@ func (g *groupLog) pendingLen() int {
 	return len(g.pending)
 }
 
-// startAt moves the log cursor for a certifier bootstrapped at v.
+// startAt moves the log cursor for a shard restored with v records
+// already durable.
 func (g *groupLog) startAt(v uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -65,8 +71,8 @@ func newGroupLog(l *wal.Log, lat *latency.Source) *groupLog {
 	return g
 }
 
-// commit makes the record for version v durable and returns once every
-// version up to and including v is durable.
+// commit makes the record for shard sequence number v durable and
+// returns once every sequence number up to and including v is durable.
 func (g *groupLog) commit(v uint64, rec *wal.Record) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()

@@ -50,18 +50,38 @@ func TestCertifyMemoSkipsAborts(t *testing.T) {
 }
 
 // TestCertifyMemoEviction: the memo is bounded; old entries fall out
-// FIFO and the certifier keeps working past the cap.
+// FIFO and the certifier keeps working past the cap. The run goes well
+// past 2×memoCap because the previous implementation kept len(memo)
+// bounded while leaking the eviction queue's backing array
+// (memoOrder = memoOrder[1:] pins one key per certification ever
+// made); the ring buffer must keep every structure at exactly memoCap.
 func TestCertifyMemoEviction(t *testing.T) {
 	c := New()
-	for i := 0; i < memoCap+10; i++ {
+	const n = 2*memoCap + memoCap/2
+	for i := 0; i < n; i++ {
 		snap := c.Version()
-		d, err := c.Certify(0, uint64(i+1), snap, ws(fmt.Sprintf("k%d", i)))
+		d, err := c.Certify(0, uint64(i+1), snap, ws(fmt.Sprintf("k%d", i%64)))
 		if err != nil || !d.Commit {
 			t.Fatalf("certify %d: %+v, %v", i, d, err)
 		}
 	}
-	if len(c.memo) > memoCap || len(c.memoOrder) > memoCap {
-		t.Fatalf("memo grew to %d/%d entries, cap %d", len(c.memo), len(c.memoOrder), memoCap)
+	s := c.seqs[0]
+	if len(s.memo) != memoCap {
+		t.Fatalf("memo has %d entries, want exactly cap %d", len(s.memo), memoCap)
+	}
+	if len(s.memoRing) != memoCap || cap(s.memoRing) > 2*memoCap {
+		t.Fatalf("eviction ring len=%d cap=%d after %d certifications; the ring must stay at memoCap=%d",
+			len(s.memoRing), cap(s.memoRing), n, memoCap)
+	}
+	// FIFO correctness: exactly the newest memoCap keys survive.
+	if _, ok := s.memo[memoKey{0, n}]; !ok {
+		t.Fatal("newest decision evicted")
+	}
+	if _, ok := s.memo[memoKey{0, n - memoCap}]; ok {
+		t.Fatalf("key %d should have been evicted", n-memoCap)
+	}
+	if _, ok := s.memo[memoKey{0, n - memoCap + 1}]; !ok {
+		t.Fatalf("key %d should still be memoized", n-memoCap+1)
 	}
 }
 

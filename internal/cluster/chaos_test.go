@@ -62,15 +62,41 @@ func TestChaos(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			for _, seed := range seeds {
 				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-					runChaos(t, mode, seed)
+					runChaos(t, mode, seed, 1)
 				})
 			}
 		})
 	}
 }
 
-func runChaos(t *testing.T, mode core.Mode, seed int64) {
-	replay := fmt.Sprintf("replay: SCONREP_CHAOS_SEED=%d go test -race -run 'TestChaos/%s' ./internal/cluster/", seed, mode)
+// TestChaosSharded is the same fault schedule over a 4-shard certifier
+// (TPC-W shard map, full subscriptions): concurrent per-shard
+// sequencers plus the cross-shard reserve/seal handshake must preserve
+// every guarantee the single-sequencer configuration sells, and the
+// version-order oracle additionally checks that the global counter
+// stayed dense and monotone across sequencers.
+func TestChaosSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness skipped in -short mode")
+	}
+	seeds := chaosSeeds()
+	for _, mode := range []core.Mode{core.Eager, core.Coarse, core.Fine, core.Session} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					runChaos(t, mode, seed, tpcw.ShardCount)
+				})
+			}
+		})
+	}
+}
+
+func runChaos(t *testing.T, mode core.Mode, seed int64, shards int) {
+	test := "TestChaos"
+	if shards > 1 {
+		test = "TestChaosSharded"
+	}
+	replay := fmt.Sprintf("replay: SCONREP_CHAOS_SEED=%d go test -race -run '%s/%s' ./internal/cluster/", seed, test, mode)
 
 	inj := fault.New(seed, fault.Config{
 		DialFailProb:  0.05,
@@ -96,7 +122,7 @@ func runChaos(t *testing.T, mode core.Mode, seed int64) {
 		StreamGrace: 500 * time.Millisecond,
 		SubLease:    2 * time.Second,
 	}
-	c, err := cluster.NewNetworked(cluster.Config{
+	cfg := cluster.Config{
 		Replicas:      chaosReplicas,
 		Mode:          mode,
 		Seed:          seed,
@@ -107,7 +133,12 @@ func runChaos(t *testing.T, mode core.Mode, seed int64) {
 		// the ApplyWorkers=1 configuration.
 		ApplyWorkers:  4,
 		MaxApplyBatch: 32,
-	}, ncfg)
+	}
+	if shards > 1 {
+		cfg.Shards = shards
+		cfg.ShardTables = tpcw.ShardMap
+	}
+	c, err := cluster.NewNetworked(cfg, ncfg)
 	if err != nil {
 		t.Fatalf("%v\n%s", err, replay)
 	}
@@ -217,6 +248,13 @@ func runChaos(t *testing.T, mode core.Mode, seed int64) {
 
 	// The oracle: the guarantees each mode sells must hold under the
 	// full fault schedule.
+	//
+	// Version order first: it is mode-independent and, with Shards > 1,
+	// the invariant sharded certification most directly endangers —
+	// concurrent sequencers must still assign one dense global order.
+	if v := history.CheckVersionOrder(events); len(v) != 0 {
+		t.Errorf("%d version-order violations, first: %v\n%s", len(v), v[0], replay)
+	}
 	if mode.Strong() {
 		if v := history.CheckStrong(events); len(v) != 0 {
 			t.Errorf("%d strong-consistency violations, first: %v\n%s", len(v), v[0], replay)

@@ -29,6 +29,7 @@ import (
 	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/pstore"
 	"sconrep/internal/replica"
+	"sconrep/internal/shard"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
 	"sconrep/internal/wal"
@@ -70,6 +71,19 @@ type Config struct {
 	// automatic fuzzy checkpoints on durable replicas (0 = the pstore
 	// default).
 	CheckpointEvery uint64
+	// Shards partitions the certifier into that many per-shard
+	// sequencers (0 or 1 = the paper's single sequencer).
+	Shards int
+	// ShardTables pins tables to shards explicitly; unlisted tables
+	// hash deterministically over [0, Shards). Ignored unless Shards>1.
+	ShardTables map[string]int
+	// ReplicaShards, when non-nil, gives replica i the partial refresh
+	// subscription ReplicaShards[i] (a nil entry = all shards): versions
+	// certified entirely elsewhere reach that replica as skip markers,
+	// and the balancer routes transactions only to replicas covering
+	// their table-set's shards. Must have one entry per replica when
+	// set. Ignored unless Shards>1.
+	ReplicaShards [][]int
 }
 
 // Cluster is a running replicated database.
@@ -143,7 +157,7 @@ func (c *Cluster) openStore(i int, boot func(e *storage.Engine) error) (*pstore.
 
 // newCore builds the pieces shared by the in-process and networked
 // deployments: certifier, collector, recorder, client latency sources.
-func newCore(cfg Config) *Cluster {
+func newCore(cfg Config) (*Cluster, error) {
 	log := cfg.WAL
 	if log == nil {
 		log = wal.NewMemory()
@@ -154,6 +168,16 @@ func newCore(cfg Config) *Cluster {
 	}
 	if cfg.Mode == core.Eager {
 		certOpts = append(certOpts, certifier.WithEager())
+	}
+	if cfg.Shards > 1 {
+		smap, err := shard.New(cfg.Shards, cfg.ShardTables)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		certOpts = append(certOpts, certifier.WithShards(smap))
+	}
+	if cfg.ReplicaShards != nil && len(cfg.ReplicaShards) != cfg.Replicas {
+		return nil, fmt.Errorf("cluster: ReplicaShards has %d entries for %d replicas", len(cfg.ReplicaShards), cfg.Replicas)
 	}
 	c := &Cluster{
 		cfg:  cfg,
@@ -166,15 +190,44 @@ func newCore(cfg Config) *Cluster {
 	if cfg.RecordHistory {
 		c.rec = history.NewRecorder()
 	}
-	return c
+	return c, nil
 }
+
+// replicaShards returns replica i's subscription shard set (nil = all).
+func (c *Cluster) replicaShards(i int) []int {
+	if c.cfg.Shards <= 1 || c.cfg.ReplicaShards == nil {
+		return nil
+	}
+	return c.cfg.ReplicaShards[i]
+}
+
+// shardRouting wires the balancer's shard-aware dispatch when the
+// cluster runs with partial replica subscriptions.
+func (c *Cluster) shardRouting(bal *lb.LoadBalancer) {
+	if c.cfg.Shards <= 1 || c.cfg.ReplicaShards == nil {
+		return
+	}
+	served := make(map[int][]int, len(c.cfg.ReplicaShards))
+	for i, s := range c.cfg.ReplicaShards {
+		if s != nil {
+			served[i] = s
+		}
+	}
+	bal.SetShardRouting(c.cert.ShardMap(), served)
+}
+
+// ShardOf returns the certification shard the table maps to.
+func (c *Cluster) ShardOf(table string) int { return c.cert.ShardMap().Of(table) }
 
 // New builds and starts a cluster.
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Replicas < 1 || cfg.Replicas > 64 {
 		return nil, fmt.Errorf("cluster: replica count %d out of range [1,64]", cfg.Replicas)
 	}
-	c := newCore(cfg)
+	c, err := newCore(cfg)
+	if err != nil {
+		return nil, err
+	}
 	nodes := make([]lb.Node, 0, cfg.Replicas)
 	c.stores = make([]*pstore.Store, cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
@@ -185,6 +238,7 @@ func New(cfg Config) (*Cluster, error) {
 			ApplyWorkers:  cfg.ApplyWorkers,
 			MaxApplyBatch: cfg.MaxApplyBatch,
 		}
+		cs := replica.LocalShards(c.cert, c.replicaShards(i))
 		var r *replica.Replica
 		if cfg.DataDir != "" {
 			st, err := c.openStore(i, nil)
@@ -193,14 +247,15 @@ func New(cfg Config) (*Cluster, error) {
 				return nil, err
 			}
 			c.stores[i] = st
-			r = replica.NewWithBackend(rcfg, st, replica.Local(c.cert))
+			r = replica.NewWithBackend(rcfg, st, cs)
 		} else {
-			r = replica.New(rcfg, storage.NewEngine(), replica.Local(c.cert))
+			r = replica.New(rcfg, storage.NewEngine(), cs)
 		}
 		c.replicas = append(c.replicas, r)
 		nodes = append(nodes, r)
 	}
 	c.balancer = lb.New(cfg.Mode, nodes)
+	c.shardRouting(c.balancer)
 	return c, nil
 }
 

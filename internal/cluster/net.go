@@ -85,7 +85,10 @@ func NewNetworked(cfg Config, ncfg NetConfig) (*Cluster, error) {
 	if ncfg.ReadyTimeout <= 0 {
 		ncfg.ReadyTimeout = 10 * time.Second
 	}
-	c := newCore(cfg)
+	c, err := newCore(cfg)
+	if err != nil {
+		return nil, err
+	}
 	n := &netCluster{cfg: ncfg}
 	c.net = n
 
@@ -134,7 +137,8 @@ func NewNetworked(cfg Config, ncfg NetConfig) (*Cluster, error) {
 		cc := wire.DialCertifier(certSrv.Addr(), i, 0,
 			append(shared,
 				wire.WithDialer(ncfg.dialer(CertLink(i))),
-				wire.WithVLocal(vlocal))...)
+				wire.WithVLocal(vlocal),
+				wire.WithShards(c.replicaShards(i)))...)
 		n.certClients = append(n.certClients, cc)
 		r := replica.NewWithBackend(replica.Config{
 			ID:            i,
@@ -175,6 +179,7 @@ func NewNetworked(cfg Config, ncfg NetConfig) (*Cluster, error) {
 	// The gateway owns the balancer in networked mode; RegisterTxn,
 	// Balancer(), and EnableObs route through it unchanged.
 	c.balancer = gw.Balancer()
+	c.shardRouting(c.balancer)
 
 	// Wait for every replica's refresh stream before declaring the
 	// cluster up: a replica whose subscription never connected would

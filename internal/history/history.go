@@ -194,6 +194,37 @@ func sweepNamed(events []Event, guarantee string) []Violation {
 	return out
 }
 
+// CheckVersionOrder verifies the version-order invariants sharded
+// certification must preserve despite assigning versions from
+// concurrent per-shard sequencers: every acknowledged update carries a
+// commit version no other acknowledged update shares (one global dense
+// order — a duplicate means two sequencers assigned the same version),
+// and every update's commit version exceeds its snapshot (a commit at
+// or below its own snapshot means the version counter went backwards
+// or the assignment raced the snapshot read).
+func CheckVersionOrder(events []Event) []Violation {
+	byVersion := map[uint64]*Event{}
+	var out []Violation
+	for i := range events {
+		e := &events[i]
+		if e.ReadOnly {
+			continue
+		}
+		if prev, ok := byVersion[e.Commit]; ok {
+			out = append(out, Violation{Earlier: *prev, Later: *e, Guarantee: "unique commit versions"})
+		} else {
+			byVersion[e.Commit] = e
+		}
+		if e.Commit <= e.Snapshot {
+			out = append(out, Violation{Earlier: *e, Later: *e, Guarantee: "commit above snapshot"})
+		}
+		if len(out) >= maxViolations {
+			return out[:maxViolations]
+		}
+	}
+	return out
+}
+
 // CheckMonotonicSessions verifies that within each session, snapshot
 // versions never go backwards in submit order — the "never go back in
 // time" property §VI ascribes to session consistency.

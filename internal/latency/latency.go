@@ -25,6 +25,15 @@ type Model struct {
 	// CommitIO is the certifier's forced-log write for an update
 	// transaction's certification decision.
 	CommitIO time.Duration
+	// Certify is the per-decision certification work (conflict test,
+	// index maintenance) charged inside the sequencer's critical
+	// section. It is zero in every stock model — the real CPU work is
+	// measured, not simulated — and exists for benchmarks that study
+	// sequencer contention: a nonzero Certify makes the per-shard
+	// serialization visible on any machine, because sleeps held under
+	// different shard locks overlap exactly as independent sequencers'
+	// work overlaps across cores.
+	Certify time.Duration
 	// StatementCPU is the per-SQL-statement execution cost inside the
 	// DBMS, in addition to the engine's real CPU work.
 	StatementCPU time.Duration
@@ -152,6 +161,10 @@ func (s *Source) heavyTailed(d time.Duration) time.Duration {
 
 // CommitIO simulates the certifier's forced log write.
 func (s *Source) CommitIO() { s.sleep(s.m.CommitIO) }
+
+// Certify simulates the per-decision certification work, charged while
+// the certifying sequencer's lock is held.
+func (s *Source) Certify() { s.sleep(s.m.Certify) }
 
 // Statement simulates per-statement DBMS execution cost.
 func (s *Source) Statement() { s.sleep(s.m.StatementCPU) }

@@ -21,6 +21,7 @@ import (
 	"sconrep/internal/obs"
 	"sconrep/internal/obs/dtrace"
 	"sconrep/internal/replica"
+	"sconrep/internal/shard"
 )
 
 // Node is the view of a replica the balancer needs for routing.
@@ -48,6 +49,15 @@ type LoadBalancer struct {
 	// still spreads sessions.
 	// guarded by mu
 	rr int
+	// smap enables shard-aware routing when non-nil with N>1: a
+	// transaction is routed only to replicas subscribed to every shard
+	// its table-set touches.
+	// guarded by mu
+	smap *shard.Map
+	// served maps node ID to its subscribed shard set; a missing or nil
+	// entry serves all shards.
+	// guarded by mu
+	served map[int][]int
 
 	// Live-observability instruments (nil-safe no-ops until EnableObs).
 	obsRouted   *obs.CounterVec
@@ -125,6 +135,22 @@ func (l *LoadBalancer) EnableObs(reg *obs.Registry) {
 		})
 }
 
+// SetShardRouting makes dispatch shard-aware: smap keys each table to
+// its certification shard, served lists the shards each node (by
+// replica ID) subscribes to — a missing or nil entry means all shards.
+// A transaction then routes only to replicas that cover every shard
+// its table-set touches (the registry is consulted for routing in
+// every consistency mode, not just fine-grained); a transaction whose
+// table-set is unknown routes to full-coverage replicas only, trading
+// balance for correctness exactly like the fine-grained mode's coarse
+// degradation. Call before traffic.
+func (l *LoadBalancer) SetShardRouting(smap *shard.Map, served map[int][]int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.smap = smap
+	l.served = served
+}
+
 // AddNode attaches a replica to the routing set.
 func (l *LoadBalancer) AddNode(n Node) {
 	l.mu.Lock()
@@ -145,9 +171,10 @@ type Route struct {
 	Trace dtrace.SpanContext
 }
 
-// pick selects the live replica with the fewest active transactions,
+// pick selects the live replica with the fewest active transactions
+// among those covering every shard in need (nil need = any replica),
 // breaking ties round-robin.
-func (l *LoadBalancer) pick() (Node, error) {
+func (l *LoadBalancer) pick(need []int) (Node, error) {
 	l.mu.Lock()
 	var best Node
 	bestActive := int(^uint(0) >> 1)
@@ -155,6 +182,9 @@ func (l *LoadBalancer) pick() (Node, error) {
 	for i := 0; i < n; i++ {
 		node := l.nodes[(l.rr+i)%n]
 		if node.Crashed() {
+			continue
+		}
+		if need != nil && !shard.Covers(l.served[node.ID()], need) {
 			continue
 		}
 		if a := node.Active(); a < bestActive {
@@ -170,6 +200,28 @@ func (l *LoadBalancer) pick() (Node, error) {
 	}
 	l.obsRouted.With(strconv.Itoa(best.ID())).Inc()
 	return best, nil
+}
+
+// requiredShards maps a transaction's table-set to the shards a
+// serving replica must subscribe to. Nil when sharding is off (no
+// routing constraint). known is false for an unregistered table-set:
+// the transaction may touch anything, so only full-coverage replicas
+// qualify.
+func (l *LoadBalancer) requiredShards(tables []string, known bool) []int {
+	l.mu.Lock()
+	smap := l.smap
+	l.mu.Unlock()
+	if smap == nil || smap.N() == 1 {
+		return nil
+	}
+	if !known {
+		all := make([]int, smap.N())
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return smap.OfTables(tables)
 }
 
 // Dispatch picks a replica (least active transactions, skipping
@@ -202,15 +254,19 @@ func (l *LoadBalancer) DispatchCtx(sessionID, txnName string, sc dtrace.SpanCont
 }
 
 func (l *LoadBalancer) dispatch(sessionID, txnName string) (Route, error) {
-	best, err := l.pick()
+	// The table-set dictionary drives routing in every mode once
+	// sharding is on, not just fine-grained version tagging: a replica
+	// with a partial shard subscription never sees row data for other
+	// shards, so it must not serve transactions that touch them.
+	ts, known := l.registry.Lookup(txnName)
+	best, err := l.pick(l.requiredShards(ts, known))
 	if err != nil {
 		return Route{}, err
 	}
 
 	mode := l.mode
 	if mode == core.Fine {
-		ts, ok := l.registry.Lookup(txnName)
-		if !ok {
+		if !known {
 			// Unknown workload: degrade to coarse, never to weaker.
 			l.obsDegraded.Inc()
 			return Route{Node: best, MinVersion: l.tracker.MinStartVersion(core.Coarse, nil, sessionID)}, nil
@@ -225,14 +281,15 @@ func (l *LoadBalancer) dispatch(sessionID, txnName string) (Route, error) {
 // where clients tag requests with the tables they will access. Under
 // non-fine modes the table-set is ignored.
 func (l *LoadBalancer) DispatchTables(sessionID string, tables []string) (Route, error) {
-	if l.mode != core.Fine {
-		return l.Dispatch(sessionID, "")
-	}
-	node, err := l.pick()
+	node, err := l.pick(l.requiredShards(tables, true))
 	if err != nil {
 		return Route{}, err
 	}
-	return Route{Node: node, MinVersion: l.tracker.MinStartVersion(core.Fine, tables, sessionID)}, nil
+	ts := []string(nil)
+	if l.mode == core.Fine {
+		ts = tables
+	}
+	return Route{Node: node, MinVersion: l.tracker.MinStartVersion(l.mode, ts, sessionID)}, nil
 }
 
 // ObserveCommit folds a replica's commit response into the version

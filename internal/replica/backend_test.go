@@ -44,14 +44,17 @@ func waitLogged(t *testing.T, st *pstore.Store, v uint64) {
 	}
 }
 
-func (c *recordingCert) lastHistoryAfter(t *testing.T) uint64 {
+// firstHistoryAfter returns the cursor of recovery's first History
+// page. History is paged, so later calls advance the cursor; the first
+// one proves where backfill started.
+func (c *recordingCert) firstHistoryAfter(t *testing.T) uint64 {
 	t.Helper()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.afters) == 0 {
 		t.Fatal("History never called during recovery")
 	}
-	return c.afters[len(c.afters)-1]
+	return c.afters[0]
 }
 
 // TestDiskRestartBackfillsOnlyHistorySuffix is the tentpole scenario
@@ -119,7 +122,7 @@ func TestDiskRestartBackfillsOnlyHistorySuffix(t *testing.T) {
 	}
 	waitVersion(t, r1, final)
 
-	if after := rc.lastHistoryAfter(t); after != recovered {
+	if after := rc.firstHistoryAfter(t); after != recovered {
 		t.Fatalf("recovery asked History(after=%d), want the recovered Vlocal %d", after, recovered)
 	}
 

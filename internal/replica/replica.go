@@ -65,8 +65,11 @@ type CertService interface {
 	// GlobalCommitted returns a channel closed when every replica has
 	// applied v (eager mode).
 	GlobalCommitted(v uint64) <-chan struct{}
-	// History returns refreshes with versions greater than after, for
-	// recovery catch-up.
+	// History returns one version-ordered page of refreshes with
+	// versions greater than after, for recovery catch-up. A page is
+	// capped (certifier.MaxHistoryBatch) and may end early at a version
+	// still being certified; callers loop until an empty page and rely
+	// on their live subscription for the raced tail.
 	History(after uint64) []certifier.Refresh
 }
 
@@ -81,20 +84,32 @@ type RefreshSource interface {
 }
 
 // localCert adapts *certifier.Certifier to CertService (the Subscribe
-// return type differs).
-type localCert struct{ c *certifier.Certifier }
+// return type differs). shards restricts the refresh subscription to
+// the given shard set (nil = all).
+type localCert struct {
+	c      *certifier.Certifier
+	shards []int
+}
 
 func (l localCert) Certify(origin int, txnID, snapshot uint64, ws *writeset.WriteSet, sc dtrace.SpanContext) (certifier.Decision, error) {
 	return l.c.CertifyCtx(origin, txnID, snapshot, ws, sc)
 }
-func (l localCert) Subscribe(id int) RefreshSource           { return l.c.Subscribe(id) }
+func (l localCert) Subscribe(id int) RefreshSource           { return l.c.SubscribeShards(id, l.shards) }
 func (l localCert) Unsubscribe(id int)                       { l.c.Unsubscribe(id) }
 func (l localCert) Applied(id int, v uint64)                 { l.c.Applied(id, v) }
 func (l localCert) GlobalCommitted(v uint64) <-chan struct{} { return l.c.GlobalCommitted(v) }
 func (l localCert) History(after uint64) []certifier.Refresh { return l.c.History(after) }
 
 // Local wraps an in-process certifier as a CertService.
-func Local(c *certifier.Certifier) CertService { return localCert{c} }
+func Local(c *certifier.Certifier) CertService { return localCert{c: c} }
+
+// LocalShards wraps an in-process certifier as a CertService whose
+// refresh subscription covers only the given shards: versions
+// certified entirely on other shards arrive as skip markers and the
+// replica advances past them without row data.
+func LocalShards(c *certifier.Certifier, shards []int) CertService {
+	return localCert{c: c, shards: shards}
+}
 
 // Config holds replica construction parameters.
 type Config struct {
@@ -377,6 +392,14 @@ func (r *Replica) applier(sub RefreshSource, gen int) {
 		}
 		o := r.obs.Load()
 		for _, ref := range batch {
+			// A nil writeset is a skip marker: the version committed
+			// entirely on shards this replica does not subscribe to.
+			// Substitute an empty writeset so the whole apply path —
+			// reorder, batching, durability logging, acks — advances the
+			// version without touching a row.
+			if ref.WS == nil {
+				ref.WS = &writeset.WriteSet{}
+			}
 			if ref.Version > r.engine().Version() {
 				r.reorder[ref.Version] = ref
 				if o != nil {
@@ -1102,34 +1125,50 @@ func (r *Replica) Recover() error {
 	// history; the reorder buffer deduplicates overlap by version.
 	r.attach()
 	engV := r.engine().Version()
-	missed := r.cert.History(engV)
-	if len(missed) > 0 && missed[0].Version > engV+1 {
-		// The certifier trimmed its history above our restore point:
-		// versions in (engV, missed[0].Version) are gone and can never
-		// be applied here. Serving anyway would be silent divergence —
-		// fail loudly and stay crashed.
-		r.Crash()
-		return fmt.Errorf("replica %d: recovery needs history from version %d but the certifier's starts at %d (trimmed below our restore point)",
-			r.cfg.ID, engV+1, missed[0].Version)
-	}
 	r.mu.Lock()
 	// Crash discards applied-but-unlogged runs from the replica's
 	// buffers; realign the durable log so it does not park every future
 	// run behind versions that will never be logged again.
 	r.dur.Realign(engV + 1)
-	for _, ref := range missed {
-		if ref.Version > r.engine().Version() {
-			r.reorder[ref.Version] = ref
-		}
-		// Every replayed version was certified — and possibly
-		// acknowledged — while this replica was down; raise the serve
-		// floor so no transaction reads below it.
-		if ref.Version > r.minServe {
-			r.minServe = ref.Version
-		}
-	}
-	r.applyReadyLocked()
 	r.mu.Unlock()
+	// History is paged (at most certifier.MaxHistoryBatch per call):
+	// loop until an empty page, applying each page before fetching the
+	// next so backfill memory stays bounded. Versions certified after
+	// the subscription above arrive on the live stream.
+	after := engV
+	for first := true; ; first = false {
+		missed := r.cert.History(after)
+		if len(missed) == 0 {
+			break
+		}
+		if first && missed[0].Version > engV+1 {
+			// The certifier trimmed its history above our restore point:
+			// versions in (engV, missed[0].Version) are gone and can never
+			// be applied here. Serving anyway would be silent divergence —
+			// fail loudly and stay crashed.
+			r.Crash()
+			return fmt.Errorf("replica %d: recovery needs history from version %d but the certifier's starts at %d (trimmed below our restore point)",
+				r.cfg.ID, engV+1, missed[0].Version)
+		}
+		after = missed[len(missed)-1].Version
+		r.mu.Lock()
+		for _, ref := range missed {
+			if ref.WS == nil { // skip marker, see applier
+				ref.WS = &writeset.WriteSet{}
+			}
+			if ref.Version > r.engine().Version() {
+				r.reorder[ref.Version] = ref
+			}
+			// Every replayed version was certified — and possibly
+			// acknowledged — while this replica was down; raise the serve
+			// floor so no transaction reads below it.
+			if ref.Version > r.minServe {
+				r.minServe = ref.Version
+			}
+		}
+		r.applyReadyLocked()
+		r.mu.Unlock()
+	}
 	return nil
 }
 

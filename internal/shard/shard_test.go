@@ -1,0 +1,69 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMapDeterministic(t *testing.T) {
+	a, err := New(4, map[string]int{"customer": 0, "item": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(4, map[string]int{"customer": 0, "item": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"customer", "item", "orders", "order_line", "zzz"} {
+		if a.Of(table) != b.Of(table) {
+			t.Fatalf("table %q maps differently across identical maps", table)
+		}
+		if s := a.Of(table); s < 0 || s >= 4 {
+			t.Fatalf("table %q out of range: %d", table, s)
+		}
+	}
+	if a.Of("customer") != 0 || a.Of("item") != 1 {
+		t.Fatal("explicit assignments not honored")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Fatal("New(0) accepted")
+	}
+	if _, err := New(2, map[string]int{"t": 2}); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}
+
+func TestOfTables(t *testing.T) {
+	m, err := New(4, map[string]int{"a": 3, "b": 1, "c": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.OfTables([]string{"a", "b", "c"}); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("OfTables = %v, want [1 3]", got)
+	}
+	if got := m.OfTables([]string{"b"}); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("OfTables = %v, want [1]", got)
+	}
+	var nilMap *Map
+	if got := nilMap.OfTables([]string{"a", "b"}); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("nil map OfTables = %v, want [0]", got)
+	}
+	if nilMap.N() != 1 || nilMap.Of("x") != 0 {
+		t.Fatal("nil map must behave as one shard")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers(nil, []int{0, 3}) {
+		t.Fatal("nil served must cover everything")
+	}
+	if !Covers([]int{0, 1, 3}, []int{0, 3}) {
+		t.Fatal("superset must cover")
+	}
+	if Covers([]int{0, 1}, []int{0, 3}) {
+		t.Fatal("missing shard must not cover")
+	}
+}

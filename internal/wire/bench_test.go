@@ -1,10 +1,17 @@
 package wire
 
 import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"sconrep/internal/certifier"
+	"sconrep/internal/shard"
 	"sconrep/internal/writeset"
 )
 
@@ -89,4 +96,115 @@ func benchRefreshStream(b *testing.B, codec string) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "refreshes/s")
+}
+
+// BenchmarkWirePartialSubscription measures what partial refresh
+// subscriptions save on the wire: a hand-rolled subscriber (so the
+// link's raw bytes are countable) consumes a 4-shard refresh stream
+// spread evenly over tables t0..t3 while subscribing to all, half, or
+// one of the shards. Every version still arrives — skip markers keep
+// the order contiguous — so bytes/refresh must drop roughly with the
+// subscribed fraction.
+func BenchmarkWirePartialSubscription(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards []int
+	}{
+		{"full", nil},
+		{"half", []int{0, 1}},
+		{"quarter", []int{0}},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchPartialSubscription(b, tc.shards) })
+	}
+}
+
+func benchPartialSubscription(b *testing.B, shards []int) {
+	smap, err := shard.New(4, map[string]int{"t0": 0, "t1": 1, "t2": 2, "t3": 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cert := certifier.New(certifier.WithShards(smap))
+	srv, err := ServeCertifier(cert, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(certHello{Kind: "sub", ReplicaID: 1, Shards: shards}); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(cert.Replicas()) == 0 {
+		if time.Now().After(deadline) {
+			b.Fatal("server never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A realistic row payload so the full-writeset versus skip-marker
+	// gap dominates gob's fixed framing.
+	row := []any{strings.Repeat("v", 96), int64(7), strings.Repeat("w", 32)}
+	var read atomic.Int64
+	cr := &countingReader{r: conn, n: &read}
+	dec := gob.NewDecoder(cr)
+	done := make(chan error, 1)
+	last := uint64(b.N)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		var seen, trimmed uint64
+		for seen < last {
+			var batch refreshBatch
+			if err := dec.Decode(&batch); err != nil {
+				done <- err
+				return
+			}
+			for i := range batch.Refreshes {
+				if v := batch.Refreshes[i].Version; v > seen {
+					seen = v
+				}
+			}
+			if seen-trimmed >= 4096 {
+				cert.TrimBelow(seen)
+				trimmed = seen
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < b.N; i++ {
+		ws := &writeset.WriteSet{Items: []writeset.Item{
+			{Table: fmt.Sprintf("t%d", i%4), Key: fmt.Sprintf("k%d", i), Op: writeset.OpUpdate, Row: row},
+		}}
+		d, err := cert.Certify(0, uint64(i+1), uint64(i), ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Commit {
+			b.Fatalf("certify %d aborted", i+1)
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(read.Load())/float64(b.N), "bytes/refresh")
+}
+
+// countingReader counts the bytes a gob decoder pulls off the link.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
 }

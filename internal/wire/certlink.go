@@ -30,6 +30,14 @@ type certHello struct {
 	// skips unknown fields in both directions, so legacy peers on
 	// either side silently keep the gob stream.
 	Codec string
+	// Shards restricts the refresh subscription to the listed
+	// certification shards (nil or empty = all). Versions certified
+	// entirely elsewhere arrive as skip markers — refreshes with a nil
+	// writeset — keeping the replica's version order contiguous at a
+	// fraction of the bytes. Legacy peers on either side degrade to the
+	// full stream: an old server never decodes the field, an old client
+	// never sets it.
+	Shards []int
 }
 
 // certRequest is the request envelope on "req" connections; exactly
@@ -55,6 +63,12 @@ type certRequest struct {
 
 	// history
 	After uint64
+	// Shards filters the history page like a partial subscription
+	// filters the stream: entries certified entirely outside these
+	// shards come back as skip markers (nil writeset). Nil = full
+	// fidelity; legacy servers ignore the field and return full pages,
+	// which is correct, just larger.
+	Shards []int
 }
 
 // certResponse is the response envelope.
@@ -240,7 +254,7 @@ func (s *CertServer) streamRefreshes(c net.Conn, fw *frameWriter, hello certHell
 	s.streamGen[replicaID]++
 	gen := s.streamGen[replicaID]
 	s.mu.Unlock()
-	sub := s.cert.Subscribe(replicaID)
+	sub := s.cert.SubscribeShards(replicaID, hello.Shards)
 	defer s.releaseStream(replicaID, gen, sub)
 	// The stream only writes; reads would block forever, so drop the
 	// hello deadline.
@@ -337,7 +351,7 @@ func (s *CertServer) serveRequests(c net.Conn, dec *gob.Decoder, fw *frameWriter
 		case "applied":
 			s.cert.Applied(req.ReplicaID, req.Version)
 		case "history":
-			resp.History = s.cert.History(req.After)
+			resp.History = s.cert.FilterUnserved(s.cert.History(req.After), req.Shards)
 		case "globalwait":
 			<-s.cert.GlobalCommitted(req.Version)
 		case "version":
@@ -595,7 +609,7 @@ func (c *CertClient) runStream(gen int, q *refreshQueue) bool {
 	if d := c.opts.to.Call; d > 0 {
 		conn.SetWriteDeadline(time.Now().Add(d))
 	}
-	hello := certHello{Kind: "sub", ReplicaID: c.replicaID, VLocal: from}
+	hello := certHello{Kind: "sub", ReplicaID: c.replicaID, VLocal: from, Shards: c.opts.shards}
 	if c.opts.refreshCodec != RefreshCodecGob {
 		hello.Codec = codecBinary
 	}
@@ -616,14 +630,20 @@ func (c *CertClient) runStream(gen int, q *refreshQueue) bool {
 	if v := ver.Version; v > c.serveFloor.Load() {
 		c.serveFloor.Store(v)
 	}
-	if from < ver.Version {
-		hist, err := c.callRetry(certRequest{Op: "history", After: from}, c.opts.to.Call, c.opts.backoff.Max)
+	// History is paged (certifier.MaxHistoryBatch per response): loop
+	// until the backfill reaches the serve floor or the certifier's
+	// pages run dry. Against a legacy server the first page carries the
+	// whole suffix and the loop exits after one round trip.
+	for after := from; after < ver.Version; {
+		hist, err := c.callRetry(certRequest{Op: "history", After: after, Shards: c.opts.shards}, c.opts.to.Call, c.opts.backoff.Max)
 		if err != nil {
 			return false
 		}
-		if len(hist.History) > 0 {
-			q.push(hist.History)
+		if len(hist.History) == 0 {
+			break
 		}
+		q.push(hist.History)
+		after = hist.History[len(hist.History)-1].Version
 	}
 
 	c.streamUp.Store(true)
@@ -810,9 +830,11 @@ func (c *CertClient) TableVersions() (map[string]uint64, error) {
 	return resp.TableVers, nil
 }
 
-// History implements replica.CertService.
+// History implements replica.CertService: one page per call; the
+// replica's recovery loop pages until empty. Pages honour the client's
+// shard subscription (unserved entries arrive as skip markers).
 func (c *CertClient) History(after uint64) []certifier.Refresh {
-	resp, err := c.callRetry(certRequest{Op: "history", After: after}, c.opts.to.Call, c.opts.backoff.Max)
+	resp, err := c.callRetry(certRequest{Op: "history", After: after, Shards: c.opts.shards}, c.opts.to.Call, c.opts.backoff.Max)
 	if err != nil {
 		log.Printf("wire: history(%d): %v", after, err)
 		return nil

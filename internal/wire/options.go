@@ -70,6 +70,7 @@ type options struct {
 	gate         func() error
 	vlocalFn     func() uint64
 	refreshCodec string
+	shards       []int
 }
 
 // Option configures a wire endpoint.
@@ -142,6 +143,17 @@ const (
 // the escape hatch for mixed-version debugging.
 func WithRefreshCodec(name string) Option {
 	return func(o *options) { o.refreshCodec = name }
+}
+
+// WithShards restricts a certifier client's refresh subscription (and
+// its reconnect backfills) to the given certification shards. Versions
+// certified entirely on other shards arrive as skip markers — the
+// replica advances its version counter without row data — so a replica
+// serving a slice of the table space pays refresh bandwidth only for
+// that slice. Nil keeps the full stream; against a pre-sharding server
+// the option is silently ignored and the full stream flows.
+func WithShards(shards []int) Option {
+	return func(o *options) { o.shards = shards }
 }
 
 const defaultSubLease = 10 * time.Second

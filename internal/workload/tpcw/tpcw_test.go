@@ -6,6 +6,7 @@ import (
 
 	"sconrep/internal/cluster"
 	"sconrep/internal/core"
+	"sconrep/internal/shard"
 	"sconrep/internal/sql"
 	"sconrep/internal/storage"
 )
@@ -279,5 +280,45 @@ func TestDeterministicNames(t *testing.T) {
 	}
 	if AuthorLastName(1) == AuthorLastName(2) {
 		t.Fatal("author names collide")
+	}
+}
+
+// TestShardMapConsistent pins ShardMap and CrossShardTxns to TxnNames:
+// every table a transaction touches must be mapped, and CrossShardTxns
+// must be exactly the transactions whose table-sets span shards.
+func TestShardMapConsistent(t *testing.T) {
+	smap, err := shard.New(ShardCount, ShardMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range Tables {
+		if _, ok := ShardMap[table]; !ok {
+			t.Errorf("schema table %q missing from ShardMap", table)
+		}
+	}
+	cross := map[string]bool{}
+	for _, name := range CrossShardTxns {
+		if _, ok := TxnNames[name]; !ok {
+			t.Errorf("CrossShardTxns lists unknown transaction %q", name)
+		}
+		cross[name] = true
+	}
+	for name, stmts := range TxnNames {
+		var tables []string
+		for _, p := range stmts {
+			for _, tab := range p.TableSet {
+				if _, ok := ShardMap[tab]; !ok {
+					t.Errorf("%s touches table %q missing from ShardMap", name, tab)
+				}
+				tables = append(tables, tab)
+			}
+		}
+		spans := len(smap.OfTables(tables)) > 1
+		if spans && !cross[name] {
+			t.Errorf("%s spans multiple shards but is not in CrossShardTxns", name)
+		}
+		if !spans && cross[name] {
+			t.Errorf("%s is single-shard but listed in CrossShardTxns", name)
+		}
 	}
 }

@@ -103,6 +103,44 @@ var TxnNames = map[string][]*sql.Prepared{
 	"tpcw.adminConfirm":  {stAdminRelated, stAdminUpdate, stProductDetail},
 }
 
+// ShardCount is the certification shard count the TPC-W shard map below
+// is laid out for.
+const ShardCount = 4
+
+// ShardMap assigns each TPC-W table to a certification shard, grouping
+// tables the same transactions write so the common paths stay
+// single-shard: customer data (0), the catalog (1), order history (2),
+// and shopping carts (3). Feed it to cluster.Config.ShardTables or
+// sconrepd -shard-tables.
+var ShardMap = map[string]int{
+	"customer": 0,
+	"address":  0,
+	"country":  0,
+
+	"item":   1,
+	"author": 1,
+
+	"orders":     2,
+	"order_line": 2,
+	"cc_xacts":   2,
+
+	"shopping_cart":      3,
+	"shopping_cart_line": 3,
+}
+
+// CrossShardTxns lists the TxnNames entries whose table-sets span more
+// than one shard under ShardMap; they certify through the cross-shard
+// reserve/seal handshake. Every other transaction is single-shard.
+// sconrep-vet checks this list against TxnNames and ShardMap.
+var CrossShardTxns = []string{
+	"tpcw.adminConfirm",
+	"tpcw.bestSellers",
+	"tpcw.buyConfirm",
+	"tpcw.home",
+	"tpcw.orderDisplay",
+	"tpcw.shoppingCart",
+}
+
 // RegisterAll registers every TPC-W transaction's table-set with the
 // cluster's load balancer.
 func RegisterAll(c *cluster.Cluster) {

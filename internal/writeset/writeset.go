@@ -68,14 +68,25 @@ type WriteSet struct {
 	Trace *dtrace.SpanContext
 }
 
-// Empty reports whether the transaction was read-only.
-func (ws *WriteSet) Empty() bool { return len(ws.Items) == 0 }
+// Empty reports whether the transaction was read-only. A nil receiver
+// is empty: partial refresh subscriptions ship version skip markers as
+// refreshes with a nil writeset, and those envelopes flow through the
+// same conflict and observability paths as real ones.
+func (ws *WriteSet) Empty() bool { return ws == nil || len(ws.Items) == 0 }
 
 // Len returns the number of modified records.
-func (ws *WriteSet) Len() int { return len(ws.Items) }
+func (ws *WriteSet) Len() int {
+	if ws == nil {
+		return 0
+	}
+	return len(ws.Items)
+}
 
 // Tables returns the sorted set of tables the writeset touches.
 func (ws *WriteSet) Tables() []string {
+	if ws == nil {
+		return nil
+	}
 	seen := make(map[string]bool, 4)
 	var out []string
 	for i := range ws.Items {
@@ -96,6 +107,9 @@ func recordKey(table, key string) string { return table + "\x00" + key }
 // Keys returns one opaque identifier per modified record, suitable for
 // membership checks in conflict indexes.
 func (ws *WriteSet) Keys() []string {
+	if ws == nil {
+		return nil
+	}
 	out := make([]string, len(ws.Items))
 	for i := range ws.Items {
 		out[i] = recordKey(ws.Items[i].Table, ws.Items[i].Key)
