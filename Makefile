@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint ci chaos recovery bench bench-hotpath fuzz-smoke sweep examples clean
+.PHONY: all build test race vet lint update-schema ci chaos recovery bench bench-hotpath fuzz-smoke sweep examples clean
 
 # Pinned external linter versions (CI installs these; locally they run
 # only when already on PATH — the build never downloads tools).
@@ -25,12 +25,16 @@ vet:
 	gofmt -l .
 
 # Project-specific static analysis (sconrep-vet: FSC table-sets, lock
-# discipline, chaos determinism) plus staticcheck/govulncheck when
-# installed. sconrep-vet must run from the module root: its loader
-# resolves module-local imports through the source importer.
+# discipline, chaos determinism, wire-schema compatibility, lock-order
+# deadlock analysis) plus staticcheck/govulncheck when installed.
+# sconrep-vet must run from the module root: its loader resolves
+# module-local imports through the source importer, and the wirecompat
+# analyzer reads internal/wire/schema.lock relative to it. -strict
+# promotes warnings to failures, keeping the committed tree clean of
+# both. After intentional wire evolution run `make update-schema`.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/sconrep-vet ./...
+	$(GO) run ./cmd/sconrep-vet -strict ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -40,13 +44,19 @@ lint:
 	else \
 		echo "lint: govulncheck not installed, skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
 
+# Regenerate the committed wire schema lock after intentional
+# protocol evolution; the diff is the review artifact (CI's
+# schema-drift step fails if the lock is stale).
+update-schema:
+	$(GO) run ./cmd/sconrep-vet -update-schema ./...
+
 # The same gate CI runs (.github/workflows/ci.yml): build, vet,
 # sconrep-vet, formatting (fails on any unformatted file), tests, race
 # tests.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) run ./cmd/sconrep-vet ./...
+	$(GO) run ./cmd/sconrep-vet -strict ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) test ./...

@@ -1,14 +1,19 @@
 // Command sconrep-vet runs sconrep's custom static-analysis suite
-// (tableset, lockcheck, determinism — see internal/analysis) over the
-// module:
+// (tableset, lockcheck, determinism, wirecompat, lockorder — see
+// internal/analysis) over the module:
 //
-//	sconrep-vet [-run tableset,lockcheck,determinism] [packages]
+//	sconrep-vet [-run names] [-strict] [-update-schema] [packages]
 //
 // Packages default to ./... and are resolved with `go list`, so the
-// command must run from the module root (`make lint` does). Any
-// diagnostic fails the run; errors are consistency holes, warnings
-// are performance or hygiene regressions, and the tree is kept clean
-// of both.
+// command must run from the module root (`make lint` does). Errors
+// (consistency holes: wire fields legacy peers can't decode, lock
+// cycles, staleness bugs) always fail the run; Warnings (hygiene:
+// unreviewed new wire fields, undeclared lock orders) fail only under
+// -strict, which is how `make lint` and CI run.
+//
+// -update-schema regenerates internal/wire/schema.lock from the
+// current tree instead of analyzing, making intentional protocol
+// evolution a reviewed diff.
 //
 // The suite is built on a stdlib-only mirror of
 // golang.org/x/tools/go/analysis; if x/tools is ever vendored, the
@@ -25,6 +30,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"sconrep/internal/analysis"
@@ -32,6 +38,9 @@ import (
 
 func main() {
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	strict := flag.Bool("strict", false, "fail on warnings too, not just errors (CI mode)")
+	updateSchema := flag.Bool("update-schema", false,
+		"regenerate "+analysis.WireSchemaLockFile+" from the tree and exit")
 	detPkgs := flag.String("determinism.pkgs", "",
 		"comma-separated extra package paths holding seeded (replay-critical) code")
 	flag.Parse()
@@ -56,7 +65,16 @@ func main() {
 	}
 
 	loader := analysis.NewLoader()
-	findings := 0
+	if *updateSchema {
+		if err := writeSchemaLock(loader, pkgs); err != nil {
+			fmt.Fprintln(os.Stderr, "sconrep-vet:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	errors, warnings := 0, 0
+	seen := map[string]bool{} // structs shared across packages would double-report
 	for _, p := range pkgs {
 		files := make([]string, 0, len(p.GoFiles))
 		for _, f := range p.GoFiles {
@@ -76,7 +94,6 @@ func main() {
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			findings++
 			pos := loader.Fset.Position(d.Pos)
 			rel := pos.Filename
 			if wd, err := os.Getwd(); err == nil {
@@ -84,13 +101,64 @@ func main() {
 					rel = r
 				}
 			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Severity, d.Message)
+			line := fmt.Sprintf("%s:%d:%d: %s: %s", rel, pos.Line, pos.Column, d.Severity, d.Message)
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			if d.Severity == analysis.Error {
+				errors++
+			} else {
+				warnings++
+			}
+			fmt.Println(line)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "sconrep-vet: %d finding(s)\n", findings)
+	if errors > 0 || warnings > 0 {
+		fmt.Fprintf(os.Stderr, "sconrep-vet: %d error(s), %d warning(s)\n", errors, warnings)
+	}
+	if errors > 0 || (*strict && warnings > 0) {
 		os.Exit(1)
 	}
+}
+
+// writeSchemaLock collects the gob-reachable schema from every listed
+// package, merges, and rewrites the committed lockfile.
+func writeSchemaLock(loader *analysis.Loader, pkgs []listPkg) error {
+	merged := &analysis.Schema{Structs: map[string]*analysis.SchemaStruct{}}
+	for _, p := range pkgs {
+		files := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(p.ImportPath, files)
+		if err != nil {
+			return err
+		}
+		schema, err := analysis.CollectSchema(pkg, loader.Fset)
+		if err != nil {
+			return err
+		}
+		if err := merged.Merge(schema); err != nil {
+			return err
+		}
+	}
+	if len(merged.Structs) == 0 {
+		return fmt.Errorf("no gob-reachable wire structs found in the listed packages; refusing to write an empty %s", analysis.WireSchemaLockFile)
+	}
+	if err := os.WriteFile(analysis.WireSchemaLockFile, merged.Format(), 0o644); err != nil {
+		return err
+	}
+	var names []string
+	for n := range merged.Structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("sconrep-vet: wrote %s (%d structs)\n", analysis.WireSchemaLockFile, len(names))
+	return nil
 }
 
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
@@ -99,14 +167,16 @@ func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 		return all, nil
 	}
 	byName := map[string]*analysis.Analyzer{}
+	var known []string
 	for _, a := range all {
 		byName[a.Name] = a
+		known = append(known, a.Name)
 	}
 	var out []*analysis.Analyzer
 	for _, n := range strings.Split(names, ",") {
 		a, ok := byName[strings.TrimSpace(n)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have tableset, lockcheck, determinism)", n)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(known, ", "))
 		}
 		out = append(out, a)
 	}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	// det:unseeded-ok — demo traffic shaping only, never replayed
 	"math/rand"
 	"sync"
 	"time"

@@ -1,7 +1,7 @@
 // Package analysis is sconrep's custom static-analysis suite: a small
 // stdlib-only framework mirroring golang.org/x/tools/go/analysis (so
 // the analyzers port to a real vettool unchanged if x/tools is ever
-// vendored), plus three project-specific analyzers that turn the
+// vendored), plus five project-specific analyzers that turn the
 // paper's conventions into machine-checked invariants:
 //
 //   - tableset: each workload transaction's declared static table-set
@@ -15,7 +15,17 @@
 //     documented as called with it held).
 //   - determinism: the seeded chaos/latency/workload packages must
 //     stay replayable from SCONREP_CHAOS_SEED — no wall-clock reads,
-//     no global math/rand, no unannotated map iteration.
+//     no global math/rand, no unannotated map iteration — and
+//     packages importing math/rand outside the seeded list are
+//     flagged as coverage gaps.
+//   - wirecompat: every struct reachable from a gob encode/decode
+//     call site must match the committed wire schema lock
+//     (internal/wire/schema.lock), so protocol evolution that breaks
+//     legacy-peer interop is a reviewed diff, not an accident.
+//   - lockorder: the inter-mutex acquisition graph, built from
+//     "locks after" annotations plus observed acquisitions, must be
+//     acyclic, and cross-shard same-class multi-acquires must be
+//     provably ascending loops.
 //
 // The cmd/sconrep-vet driver runs the suite over the module
 // (`make lint` and the CI lint job); analysistest-style fixture tests
@@ -29,10 +39,12 @@ import (
 	"go/types"
 )
 
-// Severity classifies a diagnostic. The driver fails the run on any
-// diagnostic, but the distinction matters to readers: an Error is a
-// correctness hole (e.g. an FSC staleness bug), a Warning is a
-// performance or hygiene regression (e.g. needless start delay).
+// Severity classifies a diagnostic. The driver always fails the run
+// on an Error (a correctness hole — an FSC staleness bug, a wire
+// field legacy peers can no longer decode, a lock cycle); a Warning
+// (a performance or hygiene regression, an undeclared-but-consistent
+// lock order, an unreviewed new wire field) fails only under
+// sconrep-vet -strict, which is how CI runs.
 type Severity int
 
 const (
@@ -94,5 +106,5 @@ func (p *Pass) Reportf(pos token.Pos, sev Severity, format string, args ...any) 
 
 // Analyzers returns the full suite in deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{TableSet, LockCheck, Determinism}
+	return []*Analyzer{TableSet, LockCheck, Determinism, WireCompat, LockOrder}
 }

@@ -38,10 +38,54 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, fixture("determinism"), analysis.Determinism)
 }
 
-// TestSuiteSilentOnCleanPackage runs all three analyzers over a
-// package with no TxnNames registry, no guard annotations, and no
-// seeded-path registration: the suite must stay quiet rather than
-// speculate.
+// TestDetCoverage covers the seeded-list gap check: a package outside
+// DeterminismSeeded importing math/rand warns unless the import
+// carries the det:unseeded-ok tag.
+func TestDetCoverage(t *testing.T) {
+	analysistest.Run(t, fixture("detcoverage"), analysis.Determinism)
+}
+
+// TestWireCompat covers the acceptance mutants directly: the fixture
+// lock was written for an older revision of the package, so the
+// removed hello field, the type change, the unlocked additions, the
+// reorder, and the gob-hostile field shapes must each be reported.
+func TestWireCompat(t *testing.T) {
+	saved := analysis.WireSchemaLockFile
+	analysis.WireSchemaLockFile = fixture("wirecompat") + "/schema.lock"
+	defer func() { analysis.WireSchemaLockFile = saved }()
+	analysistest.Run(t, fixture("wirecompat"), analysis.WireCompat)
+}
+
+// TestLockOrder covers the lock-graph checks, including the seeded
+// descending-reserve mutant and the opposite-order cycle.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, fixture("lockorder"), analysis.LockOrder)
+}
+
+// TestSchemaLockRoundTrip pins the lockfile codec: parsing a
+// formatted schema reproduces it byte-for-byte.
+func TestSchemaLockRoundTrip(t *testing.T) {
+	s := &analysis.Schema{Structs: map[string]*analysis.SchemaStruct{
+		"p.b": {Name: "p.b", Fields: []analysis.SchemaField{{Name: "X", Type: "map[string]uint64"}}},
+		"p.a": {Name: "p.a", Fields: []analysis.SchemaField{
+			{Name: "Seq", Type: "uint64"},
+			{Name: "WS", Type: "*p.ws"},
+		}},
+	}}
+	data := s.Format()
+	parsed, err := analysis.ParseSchemaLock(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := string(parsed.Format()); got != string(data) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", got, data)
+	}
+}
+
+// TestSuiteSilentOnCleanPackage runs all five analyzers over a
+// package with no TxnNames registry, no guard annotations, no
+// seeded-path registration, and no gob call sites: the suite must
+// stay quiet rather than speculate.
 func TestSuiteSilentOnCleanPackage(t *testing.T) {
 	analysistest.Run(t, fixture("clean"), analysis.Analyzers()...)
 }

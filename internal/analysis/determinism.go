@@ -17,6 +17,7 @@ var DeterminismSeeded = []string{
 	"sconrep/internal/fault",
 	"sconrep/internal/latency",
 	"sconrep/internal/pstore",
+	"sconrep/internal/workload/micro",
 	"sconrep/internal/workload/tpcw",
 }
 
@@ -25,6 +26,12 @@ var DeterminismSeeded = []string{
 // an order-free registry). Place it in a comment on the range
 // statement's line or the line above.
 const DeterminismOrderTag = "det:order-insensitive"
+
+// DeterminismUnseededTag acknowledges a math/rand import in a package
+// deliberately left out of DeterminismSeeded (e.g. an example binary
+// whose randomness is cosmetic). Place it in a comment on the import
+// line or the line above.
+const DeterminismUnseededTag = "det:unseeded-ok"
 
 // Determinism forbids the three classic replay-breakers in the seeded
 // packages, outside _test.go files:
@@ -43,6 +50,16 @@ const DeterminismOrderTag = "det:order-insensitive"
 //   - dtrace.New without dtrace.WithClock: the tracer's default clock
 //     is time.Now, so every span start/end would smuggle wall-clock
 //     reads into the seeded run. Inject the component's model clock.
+//
+// Packages outside DeterminismSeeded get a coverage check instead: a
+// non-test math/rand import there is a Warning, because randomness is
+// how new chaos/workload code dodges the seeded list by accident. Add
+// the package to DeterminismSeeded (preferred) or acknowledge the
+// import with a "det:unseeded-ok" comment. Wall-clock reads do not
+// trigger the coverage check — time.Now is legitimately everywhere in
+// the serving path (deadlines, metrics), so flagging it would bury
+// the signal; randomness is the reliable marker of replayable-intent
+// code.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "seeded chaos/latency/workload packages must stay replayable from SCONREP_CHAOS_SEED",
@@ -60,6 +77,7 @@ var randSeedable = map[string]bool{
 
 func runDeterminism(pass *Pass) error {
 	if !seededPackage(pass.Path) {
+		checkSeededCoverage(pass)
 		return nil
 	}
 	for _, file := range pass.Files {
@@ -92,6 +110,46 @@ func runDeterminism(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkSeededCoverage warns when a package outside DeterminismSeeded
+// imports math/rand in non-test code: either the package belongs on
+// the seeded list, or the import should carry the unseeded-ok tag.
+func checkSeededCoverage(pass *Pass) {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		tagged := unseededTagLines(pass, file)
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			line := pass.Fset.Position(imp.Pos()).Line
+			if tagged[line] || tagged[line-1] {
+				continue
+			}
+			pass.Reportf(imp.Pos(), Warning,
+				"package %s imports %s but is not in DeterminismSeeded, so the determinism analyzer never checks it: add it to the seeded list (or -determinism.pkgs), or annotate the import %q if its randomness is deliberately unseeded",
+				pass.Path, path, "// "+DeterminismUnseededTag)
+		}
+	}
+}
+
+// unseededTagLines returns the file lines carrying the unseeded-ok tag
+// (a tag covers its own line and the one below).
+func unseededTagLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, DeterminismUnseededTag) {
+				lines[pass.Fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return lines
 }
 
 func checkDetCall(pass *Pass, call *ast.CallExpr) {

@@ -1,0 +1,10 @@
+package detcoverage
+
+import (
+	// det:unseeded-ok — cosmetic jitter, never replayed
+	randv2 "math/rand/v2"
+)
+
+func jitter() int { return randv2.IntN(3) }
+
+var _ = jitter

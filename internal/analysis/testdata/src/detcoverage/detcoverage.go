@@ -1,0 +1,13 @@
+// Fixture for the determinism coverage-gap check: this package is not
+// in DeterminismSeeded, so a bare math/rand import warns (new seeded
+// code must not dodge the analyzer silently), while the annotated
+// import in annotated.go is acknowledged and stays quiet.
+package detcoverage
+
+import (
+	"math/rand" // want `imports math/rand but is not in DeterminismSeeded`
+)
+
+func draw() int { return rand.Intn(10) }
+
+var _ = draw

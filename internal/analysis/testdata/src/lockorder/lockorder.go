@@ -1,0 +1,182 @@
+// Fixture for the lockorder analyzer: declared hierarchies must
+// silence consistent nesting (direct or through calls), inverted
+// orders must error as cycles, undeclared orders must warn, and
+// same-class multi-acquire must demand the ascending-loop discipline
+// (the descending reserve is the seeded mutant).
+package lockorder
+
+import "sync"
+
+// Declared hierarchy: inner.mu is always taken under outer.mu.
+type outer struct{ mu sync.Mutex }
+
+type inner struct {
+	// locks after outer.mu
+	mu sync.Mutex
+}
+
+// nestOK follows the declared order: no diagnostic.
+func nestOK(o *outer, i *inner) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// lockInner gives the call graph an acquisition to propagate.
+func lockInner(i *inner) {
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+// nestViaCall takes the same declared edge through a callee: silent.
+func nestViaCall(o *outer, i *inner) {
+	o.mu.Lock()
+	lockInner(i)
+	o.mu.Unlock()
+}
+
+// Undeclared but consistent order: warn so it gets declared.
+type top struct{ mu sync.Mutex }
+
+type bottom struct{ mu sync.Mutex }
+
+func undeclared(t *top, b *bottom) {
+	t.mu.Lock()
+	b.mu.Lock() // want `bottom\.mu is acquired while top\.mu is held, but bottom\.mu has no "// locks after top\.mu" annotation`
+	b.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// Two paths locking in opposite orders: a deadlock cycle.
+type ping struct{ mu sync.Mutex }
+
+type pong struct{ mu sync.Mutex }
+
+func pingThenPong(p *ping, q *pong) {
+	p.mu.Lock()
+	q.mu.Lock() // want `lock classes form a cycle \(ping\.mu -> pong\.mu -> ping\.mu\)`
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func pongThenPing(p *ping, q *pong) {
+	q.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+// seq models the per-shard sequencer: multi-acquire is legal only as
+// an ascending loop.
+type seq struct {
+	id int
+	// locks self ascending
+	mu sync.Mutex
+}
+
+// lockAllOK is the blessed cross-shard pattern: tagged ascending
+// slice loop, released after the loop.
+func lockAllOK(seqs []*seq) {
+	// lockorder: ascending
+	for _, s := range seqs {
+		s.mu.Lock()
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		seqs[i].mu.Unlock()
+	}
+}
+
+// reserveDescending is the seeded mutant: the reserve loop walks
+// shard IDs downward, inverting the ascending discipline.
+func reserveDescending(seqs []*seq) {
+	// lockorder: ascending
+	for i := len(seqs) - 1; i >= 0; i-- { // want `descending \(i--\) loop`
+		seqs[i].mu.Lock()
+	}
+	for _, s := range seqs {
+		s.mu.Unlock()
+	}
+}
+
+// lockAllUntagged multi-acquires without asserting the order. (The
+// want regexp must not quote the tag itself, or it would tag the
+// loop.)
+func lockAllUntagged(seqs []*seq) {
+	for _, s := range seqs { // want `holds multiple seq\.mu locks across loop iterations`
+		s.mu.Lock()
+	}
+	for _, s := range seqs {
+		s.mu.Unlock()
+	}
+}
+
+// lockAllMap iterates a map: the order is different every run, so two
+// goroutines can deadlock even with the tag present.
+func lockAllMap(m map[int]*seq) {
+	// lockorder: ascending
+	for _, s := range m { // want `ranging over a map`
+		s.mu.Lock()
+	}
+	for _, s := range m {
+		s.mu.Unlock()
+	}
+}
+
+// useq has no self-ascending annotation, so holding two at once is an
+// undeclared discipline.
+type useq struct{ mu sync.Mutex }
+
+func lockAllUnordered(us []*useq) {
+	// lockorder: ascending
+	for _, u := range us {
+		u.mu.Lock() // want `not annotated "// locks self ascending"`
+	}
+	for _, u := range us {
+		u.mu.Unlock()
+	}
+}
+
+// sweep releases per iteration: the ordinary single-hold pattern
+// needs no annotation.
+func sweep(us []*useq) {
+	for _, u := range us {
+		u.mu.Lock()
+		u.mu.Unlock()
+	}
+}
+
+// pairUnordered holds two instances of an unannotated class outside
+// any loop: nothing proves the acquisition order.
+func pairUnordered(a, b *useq) {
+	a.mu.Lock()
+	b.mu.Lock() // want `same-class multi-acquire`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// registry is locked only after every seq.mu is released; the local
+// unlock closure must be inlined at its call site for the analyzer to
+// see that.
+type registry struct{ mu sync.Mutex }
+
+func reserveThenRegister(seqs []*seq, r *registry) {
+	// lockorder: ascending
+	for _, s := range seqs {
+		s.mu.Lock()
+	}
+	unlock := func() {
+		for _, s := range seqs {
+			s.mu.Unlock()
+		}
+	}
+	unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// orphan names a mutex that does not exist.
+type orphan struct {
+	// locks after ghost.mu
+	mu sync.Mutex // want `names ghost\.mu, which is not a mutex field`
+}

@@ -210,6 +210,7 @@ func (c *Certifier) ShardMap() *shard.Map { return c.smap }
 
 // lockAll acquires every sequencer lock in shard-ID order.
 func (c *Certifier) lockAll() {
+	// lockorder: ascending
 	for _, s := range c.seqs {
 		s.mu.Lock()
 	}
@@ -459,7 +460,9 @@ func (c *Certifier) CertifyCtx(origin int, txnID, snapshot uint64, ws *writeset.
 	shardIDs := c.smap.OfTables(ws.Tables())
 	home := c.seqs[shardIDs[0]]
 
-	// Reserve: involved shard locks, ascending.
+	// Reserve: involved shard locks, ascending (OfTables returns
+	// sorted unique IDs).
+	// lockorder: ascending
 	for _, id := range shardIDs {
 		c.seqs[id].mu.Lock()
 	}

@@ -10,6 +10,9 @@ import (
 // replica (that is exactly the coupling the lazy design removes), so
 // sends always succeed; the applier drains at its own pace.
 type mailbox struct {
+	// mu guards the queue; the certifier fans refreshes out to every
+	// subscriber's mailbox while holding its own registry lock.
+	// locks after Certifier.mu
 	mu sync.Mutex
 	// items is the queued refresh backlog.
 	// guarded by mu

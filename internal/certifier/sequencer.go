@@ -18,6 +18,11 @@ import (
 // that shard's lock, while disjoint-shard commits never contend.
 type sequencer struct {
 	id int
+	// mu serializes this shard's certification state. Cross-shard
+	// paths hold several sequencer locks at once, always taken in
+	// ascending shard-ID order (sconrep-vet lockorder enforces the
+	// tagged loops).
+	// locks self ascending
 	mu sync.Mutex
 	// index is the shard's conflict index over the certification
 	// window. Cross-shard writesets are indexed in full on every

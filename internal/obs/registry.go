@@ -200,6 +200,9 @@ type family struct {
 // nil-safe (a nil registry registers nothing and returns nil
 // instruments).
 type Registry struct {
+	// mu guards the family table; vec instruments register lazily
+	// created children while holding their own child-map lock.
+	// locks after CounterVec.mu
 	mu   sync.Mutex
 	fams map[string]*family
 }

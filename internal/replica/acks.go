@@ -9,6 +9,9 @@ import "sync"
 // sound — and the drainer's hot path is reduced to a mutex-protected
 // max and a non-blocking wakeup: no goroutine spawn, no allocation.
 type ackBox struct {
+	// mu guards the ack high-water marks; the applier posts acks from
+	// inside the replica's apply critical section.
+	// locks after Replica.mu
 	mu sync.Mutex
 	// max is the highest version posted.
 	// guarded by mu

@@ -31,6 +31,9 @@ type obsState struct {
 	applyParallelism     *obs.Histogram
 	applySerialFallbacks *obs.Counter
 
+	// mu guards the gauge snapshots; the applier updates them from
+	// inside the replica's apply critical section.
+	// locks after Replica.mu
 	mu sync.Mutex
 	// tableVers tracks Vt per table for the table-version gauges.
 	// guarded by mu

@@ -131,6 +131,7 @@ type table struct {
 	// readers traverse rows/indexes under RLock, installers mutate them
 	// under Lock. Serial engine paths additionally hold e.mu exclusively,
 	// which keeps them mutually exclusive with every installer.
+	// locks after Engine.mu
 	mu sync.RWMutex
 	// rows maps encoded pk → *chain.
 	// guarded by mu

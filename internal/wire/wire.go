@@ -45,7 +45,10 @@ type connPool struct {
 	addr string
 	dial Dialer
 	to   Timeouts
-	mu   sync.Mutex
+	// mu guards the free list; CertClient tears pools down while
+	// holding its subscription lock.
+	// locks after CertClient.mu
+	mu sync.Mutex
 	// free is the idle-connection list.
 	// guarded by mu
 	free []*rpcConn
@@ -181,6 +184,9 @@ func (p *connPool) close() {
 
 // refreshQueue implements replica.RefreshSource over a push stream.
 type refreshQueue struct {
+	// mu guards the backlog; CertClient rotates queues while holding
+	// its subscription lock.
+	// locks after CertClient.mu
 	mu sync.Mutex
 	// items is the received-but-untaken refresh backlog.
 	// guarded by mu
